@@ -1,0 +1,225 @@
+//! Shared harness utilities for reproducing the paper's tables and
+//! figures.
+//!
+//! The [`AnyCompressor`] enum dispatches over the five evaluated codecs;
+//! [`evaluate`] runs one timed compress/decompress cycle and collects
+//! every metric the paper reports (compression ratio, bit-rate, PSNR,
+//! SSIM, lag-1 error autocorrelation, throughput, max error). The
+//! experiment drivers in `src/bin/repro.rs` are thin loops over these
+//! helpers; results go to stdout as aligned tables and to `results/*.csv`.
+
+use qoz_codec::stream::{Compressor, ErrorBound};
+use qoz_core::Qoz;
+use qoz_metrics::QualityMetric;
+use qoz_mgard::Mgard;
+use qoz_sz2::Sz2;
+use qoz_sz3::Sz3;
+use qoz_tensor::NdArray;
+use qoz_zfp::Zfp;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Dispatch wrapper over the five evaluated compressors.
+#[derive(Debug, Clone)]
+pub enum AnyCompressor {
+    /// SZ2.1 baseline.
+    Sz2(Sz2),
+    /// SZ3 baseline.
+    Sz3(Sz3),
+    /// ZFP baseline.
+    Zfp(Zfp),
+    /// MGARD+ baseline.
+    Mgard(Mgard),
+    /// QoZ (ours).
+    Qoz(Qoz),
+}
+
+impl AnyCompressor {
+    /// The paper's comparison set, QoZ in the given tuning mode.
+    pub fn paper_set(metric: QualityMetric) -> Vec<AnyCompressor> {
+        vec![
+            AnyCompressor::Sz2(Sz2::default()),
+            AnyCompressor::Sz3(Sz3::default()),
+            AnyCompressor::Zfp(Zfp),
+            AnyCompressor::Mgard(Mgard),
+            AnyCompressor::Qoz(Qoz::for_metric(metric)),
+        ]
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnyCompressor::Sz2(_) => "SZ2.1",
+            AnyCompressor::Sz3(_) => "SZ3",
+            AnyCompressor::Zfp(_) => "ZFP",
+            AnyCompressor::Mgard(_) => "MGARD+",
+            AnyCompressor::Qoz(_) => "QoZ",
+        }
+    }
+
+    /// Compress an `f32` array.
+    pub fn compress(&self, data: &NdArray<f32>, bound: ErrorBound) -> Vec<u8> {
+        match self {
+            AnyCompressor::Sz2(c) => c.compress(data, bound),
+            AnyCompressor::Sz3(c) => c.compress(data, bound),
+            AnyCompressor::Zfp(c) => c.compress(data, bound),
+            AnyCompressor::Mgard(c) => c.compress(data, bound),
+            AnyCompressor::Qoz(c) => c.compress(data, bound),
+        }
+    }
+
+    /// Decompress an `f32` array.
+    pub fn decompress(&self, blob: &[u8]) -> qoz_codec::Result<NdArray<f32>> {
+        match self {
+            AnyCompressor::Sz2(c) => c.decompress(blob),
+            AnyCompressor::Sz3(c) => c.decompress(blob),
+            AnyCompressor::Zfp(c) => c.decompress(blob),
+            AnyCompressor::Mgard(c) => c.decompress(blob),
+            AnyCompressor::Qoz(c) => c.decompress(blob),
+        }
+    }
+}
+
+/// All metrics collected from one compress/decompress cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct RunResult {
+    /// Compression ratio (raw bytes / compressed bytes).
+    pub cr: f64,
+    /// Bits per data point.
+    pub bitrate: f64,
+    /// PSNR in dB.
+    pub psnr: f64,
+    /// Mean windowed SSIM.
+    pub ssim: f64,
+    /// |lag-1 autocorrelation| of errors.
+    pub ac: f64,
+    /// Maximum absolute error.
+    pub max_err: f64,
+    /// Compression throughput, MB/s of raw input.
+    pub comp_mbps: f64,
+    /// Decompression throughput, MB/s of raw output.
+    pub decomp_mbps: f64,
+}
+
+/// Run one timed cycle and measure everything.
+pub fn evaluate(c: &AnyCompressor, data: &NdArray<f32>, bound: ErrorBound) -> RunResult {
+    let raw_bytes = (data.len() * 4) as f64;
+    let t0 = Instant::now();
+    let blob = c.compress(data, bound);
+    let t_comp = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let recon = c.decompress(&blob).expect("self-produced blob must decode");
+    let t_dec = t0.elapsed().as_secs_f64();
+
+    RunResult {
+        cr: raw_bytes / blob.len() as f64,
+        bitrate: blob.len() as f64 * 8.0 / data.len() as f64,
+        psnr: qoz_metrics::psnr(data, &recon),
+        ssim: qoz_metrics::ssim(data, &recon),
+        ac: qoz_metrics::error_autocorrelation(data, &recon, 1).abs(),
+        max_err: data.max_abs_diff(&recon),
+        comp_mbps: raw_bytes / 1e6 / t_comp.max(1e-12),
+        decomp_mbps: raw_bytes / 1e6 / t_dec.max(1e-12),
+    }
+}
+
+/// Binary-search the relative error bound that hits a target compression
+/// ratio (used for the same-CR visual comparison, Fig. 11).
+pub fn bound_for_target_cr(
+    c: &AnyCompressor,
+    data: &NdArray<f32>,
+    target_cr: f64,
+    iterations: usize,
+) -> f64 {
+    let mut lo = 1e-7f64;
+    let mut hi = 0.3f64;
+    for _ in 0..iterations {
+        let mid = (lo * hi).sqrt(); // geometric bisection over decades
+        let blob = c.compress(data, ErrorBound::Rel(mid));
+        let cr = (data.len() * 4) as f64 / blob.len() as f64;
+        if cr < target_cr {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo * hi).sqrt()
+}
+
+/// Write rows to a CSV file under `results/`.
+pub fn write_csv(path: &str, header: &str, rows: &[String]) -> std::io::Result<()> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{header}")?;
+    for r in rows {
+        writeln!(f, "{r}")?;
+    }
+    Ok(())
+}
+
+/// Write a 2D f32 slice as a binary PGM image (min-max normalized),
+/// for the Fig. 11 visual comparison.
+pub fn write_pgm(path: &str, data: &NdArray<f32>) -> std::io::Result<()> {
+    assert_eq!(data.shape().ndim(), 2, "PGM output needs a 2D slice");
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let (h, w) = (data.shape().dim(0), data.shape().dim(1));
+    let (lo, hi) = data.finite_min_max().unwrap_or((0.0, 1.0));
+    let range = (hi - lo).max(f32::MIN_POSITIVE);
+    let mut out = Vec::with_capacity(h * w + 32);
+    out.extend_from_slice(format!("P5\n{w} {h}\n255\n").as_bytes());
+    for &v in data.as_slice() {
+        let t = ((v - lo) / range).clamp(0.0, 1.0);
+        out.push((t * 255.0) as u8);
+    }
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoz_datagen::{Dataset, SizeClass};
+
+    #[test]
+    fn evaluate_produces_consistent_metrics() {
+        let data = Dataset::CesmAtm.generate(SizeClass::Tiny, 0);
+        let c = AnyCompressor::Sz3(Sz3::default());
+        let r = evaluate(&c, &data, ErrorBound::Rel(1e-3));
+        assert!(r.cr > 1.0);
+        assert!((r.bitrate - 32.0 / r.cr).abs() < 1e-9);
+        assert!(r.psnr > 20.0);
+        assert!(r.ssim > 0.3 && r.ssim <= 1.0 + 1e-12);
+        assert!(r.max_err <= ErrorBound::Rel(1e-3).absolute(&data) * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn paper_set_has_five_compressors() {
+        let set = AnyCompressor::paper_set(QualityMetric::Psnr);
+        let names: Vec<_> = set.iter().map(|c| c.name()).collect();
+        assert_eq!(names, vec!["SZ2.1", "SZ3", "ZFP", "MGARD+", "QoZ"]);
+    }
+
+    #[test]
+    fn target_cr_search_converges() {
+        let data = Dataset::Miranda.generate(SizeClass::Tiny, 0);
+        let c = AnyCompressor::Sz3(Sz3::default());
+        let eps = bound_for_target_cr(&c, &data, 30.0, 12);
+        let blob = c.compress(&data, ErrorBound::Rel(eps));
+        let cr = (data.len() * 4) as f64 / blob.len() as f64;
+        assert!((cr - 30.0).abs() / 30.0 < 0.5, "cr {cr} target 30");
+    }
+
+    #[test]
+    fn pgm_writer_emits_valid_header() {
+        let data = Dataset::CesmAtm.generate(SizeClass::Tiny, 0);
+        let path = std::env::temp_dir().join("qoz_test.pgm");
+        write_pgm(path.to_str().unwrap(), &data).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P5\n128 64\n255\n"));
+        assert_eq!(bytes.len(), 14 + 64 * 128);
+        let _ = std::fs::remove_file(path);
+    }
+}

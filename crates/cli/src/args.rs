@@ -1,0 +1,268 @@
+//! Hand-rolled argument parsing (no external parser dependency).
+
+use crate::CliError;
+use qoz_metrics::QualityMetric;
+
+/// Which compressor a command should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CodecChoice {
+    /// QoZ (default).
+    #[default]
+    Qoz,
+    /// SZ3 baseline.
+    Sz3,
+    /// SZ2.1 baseline.
+    Sz2,
+    /// ZFP baseline.
+    Zfp,
+    /// MGARD+ baseline.
+    Mgard,
+}
+
+impl CodecChoice {
+    fn parse(s: &str) -> Result<Self, CliError> {
+        Ok(match s.to_ascii_lowercase().as_str() {
+            "qoz" => CodecChoice::Qoz,
+            "sz3" => CodecChoice::Sz3,
+            "sz2" | "sz2.1" => CodecChoice::Sz2,
+            "zfp" => CodecChoice::Zfp,
+            "mgard" | "mgard+" => CodecChoice::Mgard,
+            other => return Err(CliError::usage(format!("unknown codec '{other}'"))),
+        })
+    }
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Compress a raw array file.
+    Compress {
+        /// Input raw file.
+        input: String,
+        /// Output stream file.
+        output: String,
+        /// Array dimensions.
+        dims: Vec<usize>,
+        /// `true` for f64 input, `false` for f32.
+        wide: bool,
+        /// Relative (`true`) or absolute (`false`) bound.
+        relative: bool,
+        /// Bound value.
+        bound: f64,
+        /// Compressor.
+        codec: CodecChoice,
+        /// QoZ tuning metric.
+        metric: QualityMetric,
+    },
+    /// Decompress a stream file back to raw bytes.
+    Decompress {
+        /// Input stream file.
+        input: String,
+        /// Output raw file.
+        output: String,
+    },
+    /// Print a stream header.
+    Info {
+        /// Stream file.
+        input: String,
+    },
+    /// Quality report between two raw files.
+    Eval {
+        /// Original raw file.
+        original: String,
+        /// Reconstructed raw file.
+        recon: String,
+        /// Array dimensions.
+        dims: Vec<usize>,
+        /// `true` for f64.
+        wide: bool,
+    },
+    /// Generate a synthetic dataset.
+    Gen {
+        /// Dataset name (cesm/miranda/rtm/nyx/hurricane/letkf).
+        dataset: String,
+        /// Size class (tiny/small/medium).
+        size: String,
+        /// Output raw f32 file.
+        output: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Parse `AxBxC`-style dimension strings.
+pub fn parse_dims(s: &str) -> Result<Vec<usize>, CliError> {
+    let dims: Result<Vec<usize>, _> = s
+        .split(['x', 'X', ','])
+        .map(|p| p.trim().parse::<usize>())
+        .collect();
+    let dims = dims.map_err(|_| CliError::usage(format!("bad dimensions '{s}'")))?;
+    if dims.is_empty() || dims.len() > qoz_tensor::MAX_NDIM || dims.contains(&0) {
+        return Err(CliError::usage(format!("bad dimensions '{s}'")));
+    }
+    Ok(dims)
+}
+
+fn metric_of(s: &str) -> Result<QualityMetric, CliError> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "cr" | "ratio" => QualityMetric::CompressionRatio,
+        "psnr" => QualityMetric::Psnr,
+        "ssim" => QualityMetric::Ssim,
+        "ac" | "autocorrelation" => QualityMetric::AutoCorrelation,
+        other => return Err(CliError::usage(format!("unknown metric '{other}'"))),
+    })
+}
+
+/// Parse a full argument vector (excluding argv[0]).
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let sub = match it.next() {
+        None => return Ok(Command::Help),
+        Some(s) => s.as_str(),
+    };
+
+    // Collect remaining as flag map.
+    let rest: Vec<&String> = it.collect();
+    let get_flag = |name: &str| -> Option<&str> {
+        rest.iter()
+            .position(|a| a.as_str() == name)
+            .and_then(|i| rest.get(i + 1).map(|s| s.as_str()))
+    };
+    let require = |name: &str| -> Result<&str, CliError> {
+        get_flag(name).ok_or_else(|| CliError::usage(format!("missing required flag {name}")))
+    };
+
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "compress" => Ok(Command::Compress {
+            input: require("-i")?.to_string(),
+            output: require("-o")?.to_string(),
+            dims: parse_dims(require("-d")?)?,
+            wide: get_flag("-t").map(|t| t == "f64").unwrap_or(false),
+            relative: get_flag("-m").map(|m| m != "abs").unwrap_or(true),
+            bound: require("-e")?
+                .parse()
+                .map_err(|_| CliError::usage("bad bound value for -e"))?,
+            codec: get_flag("--codec").map(CodecChoice::parse).transpose()?.unwrap_or_default(),
+            metric: get_flag("--metric").map(metric_of).transpose()?.unwrap_or_default(),
+        }),
+        "decompress" => Ok(Command::Decompress {
+            input: require("-i")?.to_string(),
+            output: require("-o")?.to_string(),
+        }),
+        "info" => Ok(Command::Info {
+            input: require("-i")?.to_string(),
+        }),
+        "eval" => Ok(Command::Eval {
+            original: require("-i")?.to_string(),
+            recon: require("-r")?.to_string(),
+            dims: parse_dims(require("-d")?)?,
+            wide: get_flag("-t").map(|t| t == "f64").unwrap_or(false),
+        }),
+        "gen" => Ok(Command::Gen {
+            dataset: require("-D")?.to_string(),
+            size: get_flag("-s").unwrap_or("small").to_string(),
+            output: require("-o")?.to_string(),
+        }),
+        other => Err(CliError::usage(format!("unknown command '{other}'"))),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+qoz — error-bounded lossy compression for scientific arrays (QoZ, SC'22 reproduction)
+
+USAGE:
+  qoz compress   -i in.f32 -o out.qz -d 512x512x512 -e 1e-3 [-m rel|abs]
+                 [-t f32|f64] [--codec qoz|sz3|sz2|zfp|mgard]
+                 [--metric cr|psnr|ssim|ac]
+  qoz decompress -i out.qz -o recon.f32
+  qoz info       -i out.qz
+  qoz eval       -i in.f32 -r recon.f32 -d 512x512x512 [-t f32|f64]
+  qoz gen        -D miranda [-s tiny|small|medium] -o data.f32
+  qoz help
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_dims_variants() {
+        assert_eq!(parse_dims("512x512").unwrap(), vec![512, 512]);
+        assert_eq!(parse_dims("100X200X300").unwrap(), vec![100, 200, 300]);
+        assert_eq!(parse_dims("8,9").unwrap(), vec![8, 9]);
+        assert!(parse_dims("0x4").is_err());
+        assert!(parse_dims("axb").is_err());
+        assert!(parse_dims("1x2x3x4x5").is_err());
+    }
+
+    #[test]
+    fn parse_compress_full() {
+        let cmd = parse(&sv(&[
+            "compress", "-i", "a.f32", "-o", "a.qz", "-d", "64x64", "-e", "1e-3", "--codec",
+            "sz3", "--metric", "ssim", "-m", "abs",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Compress {
+                input,
+                output,
+                dims,
+                wide,
+                relative,
+                bound,
+                codec,
+                metric,
+            } => {
+                assert_eq!(input, "a.f32");
+                assert_eq!(output, "a.qz");
+                assert_eq!(dims, vec![64, 64]);
+                assert!(!wide);
+                assert!(!relative);
+                assert_eq!(bound, 1e-3);
+                assert_eq!(codec, CodecChoice::Sz3);
+                assert_eq!(metric, QualityMetric::Ssim);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let cmd = parse(&sv(&["compress", "-i", "a", "-o", "b", "-d", "8x8", "-e", "0.01"]))
+            .unwrap();
+        match cmd {
+            Command::Compress {
+                codec,
+                metric,
+                relative,
+                wide,
+                ..
+            } => {
+                assert_eq!(codec, CodecChoice::Qoz);
+                assert_eq!(metric, QualityMetric::CompressionRatio);
+                assert!(relative);
+                assert!(!wide);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn missing_flags_error() {
+        assert!(parse(&sv(&["compress", "-i", "a"])).is_err());
+        assert!(parse(&sv(&["decompress", "-i", "a"])).is_err());
+        assert!(parse(&sv(&["nonsense"])).is_err());
+    }
+
+    #[test]
+    fn help_paths() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&sv(&["--help"])).unwrap(), Command::Help);
+    }
+}

@@ -1,0 +1,261 @@
+//! Command implementations.
+
+use crate::args::{CodecChoice, Command, USAGE};
+use crate::rawio;
+use crate::CliError;
+use qoz_codec::stream::{Compressor, ErrorBound};
+use qoz_metrics::{QualityMetric, QualityReport};
+use qoz_tensor::{NdArray, Scalar, Shape};
+
+fn make_codec<T: Scalar>(choice: CodecChoice, metric: QualityMetric) -> Box<dyn Compressor<T>> {
+    match choice {
+        CodecChoice::Qoz => Box::new(qoz_core::Qoz::for_metric(metric)),
+        CodecChoice::Sz3 => Box::new(qoz_sz3::Sz3::default()),
+        CodecChoice::Sz2 => Box::new(qoz_sz2::Sz2::default()),
+        CodecChoice::Zfp => Box::new(qoz_zfp::Zfp),
+        CodecChoice::Mgard => Box::new(qoz_mgard::Mgard),
+    }
+}
+
+/// Execute a parsed command; returns lines of stdout output.
+pub fn run(cmd: Command) -> Result<Vec<String>, CliError> {
+    match cmd {
+        Command::Help => Ok(vec![USAGE.to_string()]),
+        Command::Compress {
+            input,
+            output,
+            dims,
+            wide,
+            relative,
+            bound,
+            codec,
+            metric,
+        } => {
+            let shape = Shape::new(&dims);
+            let bound = if relative {
+                ErrorBound::Rel(bound)
+            } else {
+                ErrorBound::Abs(bound)
+            };
+            let (raw_bytes, blob) = if wide {
+                let data: NdArray<f64> = rawio::read_raw(&input, shape)?;
+                let c = make_codec::<f64>(codec, metric);
+                (data.len() * 8, c.compress(&data, bound))
+            } else {
+                let data: NdArray<f32> = rawio::read_raw(&input, shape)?;
+                let c = make_codec::<f32>(codec, metric);
+                (data.len() * 4, c.compress(&data, bound))
+            };
+            rawio::write_bytes(&output, &blob)?;
+            Ok(vec![format!(
+                "{input} -> {output}: {} -> {} bytes (CR {:.2}x)",
+                raw_bytes,
+                blob.len(),
+                raw_bytes as f64 / blob.len() as f64
+            )])
+        }
+        Command::Decompress { input, output } => {
+            let blob = rawio::read_bytes(&input)?;
+            let header = peek_header(&blob)?;
+            if header.scalar_tag == f64::TYPE_TAG {
+                let data: NdArray<f64> = dispatch_decompress(&blob, header.compressor)?;
+                rawio::write_raw(&output, &data)?;
+            } else {
+                let data: NdArray<f32> = dispatch_decompress(&blob, header.compressor)?;
+                rawio::write_raw(&output, &data)?;
+            }
+            Ok(vec![format!("{input} -> {output}")])
+        }
+        Command::Info { input } => {
+            let blob = rawio::read_bytes(&input)?;
+            let h = peek_header(&blob)?;
+            Ok(vec![
+                format!("compressor    : {}", h.compressor.name()),
+                format!(
+                    "scalar type   : {}",
+                    if h.scalar_tag == f64::TYPE_TAG { "f64" } else { "f32" }
+                ),
+                format!("dimensions    : {:?}", h.shape.dims()),
+                format!("points        : {}", h.shape.len()),
+                format!("abs bound     : {:.6e}", h.abs_eb),
+                format!("stream size   : {} bytes", blob.len()),
+                format!(
+                    "ratio         : {:.2}x",
+                    (h.shape.len()
+                        * if h.scalar_tag == f64::TYPE_TAG { 8 } else { 4 }) as f64
+                        / blob.len() as f64
+                ),
+            ])
+        }
+        Command::Eval {
+            original,
+            recon,
+            dims,
+            wide,
+        } => {
+            let shape = Shape::new(&dims);
+            let report = if wide {
+                let a: NdArray<f64> = rawio::read_raw(&original, shape)?;
+                let b: NdArray<f64> = rawio::read_raw(&recon, shape)?;
+                QualityReport::new(&a, &b)
+            } else {
+                let a: NdArray<f32> = rawio::read_raw(&original, shape)?;
+                let b: NdArray<f32> = rawio::read_raw(&recon, shape)?;
+                QualityReport::new(&a, &b)
+            };
+            Ok(vec![report.to_string()])
+        }
+        Command::Gen {
+            dataset,
+            size,
+            output,
+        } => {
+            use qoz_datagen::{Dataset, SizeClass};
+            let ds = match dataset.to_ascii_lowercase().as_str() {
+                "cesm" | "cesm-atm" => Dataset::CesmAtm,
+                "miranda" => Dataset::Miranda,
+                "rtm" => Dataset::Rtm,
+                "nyx" => Dataset::Nyx,
+                "hurricane" => Dataset::Hurricane,
+                "letkf" | "scale-letkf" => Dataset::ScaleLetkf,
+                other => return Err(CliError::usage(format!("unknown dataset '{other}'"))),
+            };
+            let size = match size.to_ascii_lowercase().as_str() {
+                "tiny" => SizeClass::Tiny,
+                "small" => SizeClass::Small,
+                "medium" => SizeClass::Medium,
+                other => return Err(CliError::usage(format!("unknown size '{other}'"))),
+            };
+            let data = ds.generate(size, 0);
+            rawio::write_raw(&output, &data)?;
+            Ok(vec![format!(
+                "{} {:?} -> {output} ({} bytes)",
+                ds.name(),
+                data.shape().dims(),
+                data.len() * 4
+            )])
+        }
+    }
+}
+
+fn peek_header(blob: &[u8]) -> Result<qoz_codec::Header, CliError> {
+    let mut r = qoz_codec::ByteReader::new(blob);
+    Ok(qoz_codec::stream::read_header(&mut r)?)
+}
+
+fn dispatch_decompress<T: Scalar>(
+    blob: &[u8],
+    id: qoz_codec::CompressorId,
+) -> Result<NdArray<T>, CliError> {
+    use qoz_codec::CompressorId::*;
+    let out = match id {
+        Qoz => qoz_core::Qoz::default().decompress_typed(blob)?,
+        Sz3 => qoz_sz3::Sz3::default().decompress_typed(blob)?,
+        Sz2 => qoz_sz2::Sz2::default().decompress_typed(blob)?,
+        Zfp => qoz_zfp::Zfp.decompress_typed(blob)?,
+        Mgard => qoz_mgard::Mgard.decompress_typed(blob)?,
+    };
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("qoz_cli_cmd_{name}_{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn full_cli_pipeline() {
+        let raw = tmp("pipe.f32");
+        let qz = tmp("pipe.qz");
+        let rec = tmp("pipe_rec.f32");
+
+        // gen -> compress -> info -> decompress -> eval
+        run(parse(&sv(&["gen", "-D", "cesm", "-s", "tiny", "-o", &raw])).unwrap()).unwrap();
+        let out = run(parse(&sv(&[
+            "compress", "-i", &raw, "-o", &qz, "-d", "64x128", "-e", "1e-3",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out[0].contains("CR"), "{out:?}");
+
+        let info = run(parse(&sv(&["info", "-i", &qz])).unwrap()).unwrap();
+        assert!(info.iter().any(|l| l.contains("QoZ")), "{info:?}");
+        assert!(info.iter().any(|l| l.contains("[64, 128]")), "{info:?}");
+
+        run(parse(&sv(&["decompress", "-i", &qz, "-o", &rec])).unwrap()).unwrap();
+        let eval = run(parse(&sv(&[
+            "eval", "-i", &raw, "-r", &rec, "-d", "64x128",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(eval[0].contains("PSNR"), "{eval:?}");
+
+        for f in [&raw, &qz, &rec] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn all_codecs_through_cli() {
+        let raw = tmp("codecs.f32");
+        run(parse(&sv(&["gen", "-D", "miranda", "-s", "tiny", "-o", &raw])).unwrap()).unwrap();
+        for codec in ["qoz", "sz3", "sz2", "zfp", "mgard"] {
+            let qz = tmp(&format!("{codec}.qz"));
+            let rec = tmp(&format!("{codec}_rec.f32"));
+            run(parse(&sv(&[
+                "compress", "-i", &raw, "-o", &qz, "-d", "24x32x32", "-e", "1e-2", "--codec",
+                codec,
+            ]))
+            .unwrap())
+            .unwrap();
+            run(parse(&sv(&["decompress", "-i", &qz, "-o", &rec])).unwrap()).unwrap();
+            std::fs::remove_file(&qz).ok();
+            std::fs::remove_file(&rec).ok();
+        }
+        std::fs::remove_file(&raw).ok();
+    }
+
+    #[test]
+    fn lossless_eval_is_perfect() {
+        let raw = tmp("eval.f32");
+        run(parse(&sv(&["gen", "-D", "nyx", "-s", "tiny", "-o", &raw])).unwrap()).unwrap();
+        let eval = run(parse(&sv(&[
+            "eval", "-i", &raw, "-r", &raw, "-d", "32x32x32",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(eval[0].contains("max |error|   : 0"), "{eval:?}");
+        std::fs::remove_file(&raw).ok();
+    }
+
+    #[test]
+    fn bad_dims_rejected_cleanly() {
+        let raw = tmp("bad.f32");
+        run(parse(&sv(&["gen", "-D", "cesm", "-s", "tiny", "-o", &raw])).unwrap()).unwrap();
+        let r = run(parse(&sv(&[
+            "compress", "-i", &raw, "-o", "/dev/null", "-d", "10x10", "-e", "1e-3",
+        ]))
+        .unwrap());
+        assert!(r.is_err(), "size mismatch must be reported");
+        std::fs::remove_file(&raw).ok();
+    }
+
+    #[test]
+    fn help_contains_all_commands() {
+        let out = run(Command::Help).unwrap();
+        for c in ["compress", "decompress", "info", "eval", "gen"] {
+            assert!(out[0].contains(c));
+        }
+    }
+}

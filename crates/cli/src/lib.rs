@@ -1,0 +1,61 @@
+//! Library backing the `qoz` command-line tool.
+//!
+//! The CLI works on raw little-endian binary arrays (the format SDRBench
+//! distributes): `compress` wraps them into self-describing `.qz`
+//! streams, `decompress` unwraps, `info` prints stream headers, `eval`
+//! prints a full quality report, and `gen` writes synthetic datasets.
+//! All argument parsing and command logic live here so they are unit
+//! testable; `main.rs` is a thin shim.
+
+pub mod args;
+pub mod commands;
+pub mod rawio;
+
+pub use args::{parse_dims, CodecChoice, Command};
+pub use commands::run;
+
+/// CLI error type: message + suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    /// Usage-level error (exit 2).
+    pub fn usage(msg: impl Into<String>) -> Self {
+        CliError {
+            message: msg.into(),
+            code: 2,
+        }
+    }
+    /// Runtime failure (exit 1).
+    pub fn runtime(msg: impl Into<String>) -> Self {
+        CliError {
+            message: msg.into(),
+            code: 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::runtime(format!("I/O error: {e}"))
+    }
+}
+
+impl From<qoz_codec::CodecError> for CliError {
+    fn from(e: qoz_codec::CodecError) -> Self {
+        CliError::runtime(format!("codec error: {e}"))
+    }
+}

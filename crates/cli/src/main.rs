@@ -1,0 +1,16 @@
+//! `qoz` binary entry point — thin shim over [`qoz_cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match qoz_cli::args::parse(&args).and_then(qoz_cli::run) {
+        Ok(lines) => {
+            for l in lines {
+                println!("{l}");
+            }
+        }
+        Err(e) => {
+            eprintln!("qoz: {e}");
+            std::process::exit(e.code);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! MSB-first bit-level I/O.
+//!
+//! Both the Huffman coder and the embedded bitplane coder in `qoz-zfp`
+//! write variable-length codes; this module gives them a single, tested
+//! bit container. Bits are packed most-significant-first inside each byte,
+//! matching the usual entropy-coding convention so streams are easy to
+//! inspect in a hex dump.
+
+use crate::{CodecError, Result};
+
+/// Accumulates bits into a byte buffer, MSB-first.
+#[derive(Default, Debug)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Partially filled final byte.
+    cur: u8,
+    /// Number of valid bits in `cur` (0..8).
+    used: u32,
+}
+
+impl BitWriter {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a single bit.
+    #[inline]
+    pub fn put_bit(&mut self, bit: bool) {
+        self.cur = (self.cur << 1) | bit as u8;
+        self.used += 1;
+        if self.used == 8 {
+            self.buf.push(self.cur);
+            self.cur = 0;
+            self.used = 0;
+        }
+    }
+
+    /// Append the low `n` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    /// Panics if `n > 64`.
+    #[inline]
+    pub fn put_bits(&mut self, value: u64, n: u32) {
+        assert!(n <= 64, "cannot write more than 64 bits at once");
+        for i in (0..n).rev() {
+            self.put_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Total number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.buf.len() * 8 + self.used as usize
+    }
+
+    /// Pad the final byte with zeros and return the backing buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.used > 0 {
+            self.cur <<= 8 - self.used;
+            self.buf.push(self.cur);
+        }
+        self.buf
+    }
+}
+
+/// Reads bits from a byte slice, MSB-first.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    /// Absolute bit cursor.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wrap a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, pos: 0 }
+    }
+
+    /// Number of bits still available.
+    pub fn remaining_bits(&self) -> usize {
+        self.buf.len() * 8 - self.pos
+    }
+
+    /// Read one bit.
+    #[inline]
+    pub fn get_bit(&mut self) -> Result<bool> {
+        let byte = self.pos / 8;
+        if byte >= self.buf.len() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let shift = 7 - (self.pos % 8) as u32;
+        self.pos += 1;
+        Ok((self.buf[byte] >> shift) & 1 == 1)
+    }
+
+    /// Read `n` bits into the low bits of a `u64`, MSB-first.
+    #[inline]
+    pub fn get_bits(&mut self, n: u32) -> Result<u64> {
+        assert!(n <= 64, "cannot read more than 64 bits at once");
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | self.get_bit()? as u64;
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.put_bit(b);
+        }
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.get_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn multi_bit_values_roundtrip() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b1011, 4);
+        w.put_bits(0x3FF, 10);
+        w.put_bits(u64::MAX, 64);
+        w.put_bits(0, 1);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bits(4).unwrap(), 0b1011);
+        assert_eq!(r.get_bits(10).unwrap(), 0x3FF);
+        assert_eq!(r.get_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.get_bits(1).unwrap(), 0);
+    }
+
+    #[test]
+    fn msb_first_packing() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b10000001, 8);
+        assert_eq!(w.finish(), vec![0b1000_0001]);
+    }
+
+    #[test]
+    fn eof_detected() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.get_bits(8).unwrap(), 0xFF);
+        assert_eq!(r.get_bit(), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn bit_len_counts_partial_bytes() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b101, 3);
+        assert_eq!(w.bit_len(), 3);
+        w.put_bits(0, 6);
+        assert_eq!(w.bit_len(), 9);
+    }
+
+    #[test]
+    fn remaining_bits_tracks_cursor() {
+        let data = [0u8; 4];
+        let mut r = BitReader::new(&data);
+        assert_eq!(r.remaining_bits(), 32);
+        r.get_bits(5).unwrap();
+        assert_eq!(r.remaining_bits(), 27);
+    }
+}

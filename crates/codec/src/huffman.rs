@@ -1,0 +1,411 @@
+//! Canonical Huffman coding over `u32` symbols.
+//!
+//! Quantization bins are entropy-coded with a canonical Huffman code:
+//! code lengths are derived from symbol frequencies with the classic
+//! two-queue construction, then codes are assigned canonically
+//! (shorter-first, then by symbol value) so only the `(symbol, length)`
+//! table needs to be serialized. Decoding uses the canonical
+//! first-code/offset tables — O(length) per symbol with tiny memory.
+//!
+//! Degenerate inputs (empty stream, single distinct symbol) are handled
+//! explicitly; over-long codes (> [`MAX_CODE_LEN`]) are prevented by
+//! iteratively flattening the frequency distribution, which preserves
+//! prefix-freeness at a negligible size cost.
+
+use crate::bits::{BitReader, BitWriter};
+use crate::byteio::{ByteReader, ByteWriter};
+use crate::{CodecError, Result};
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+/// Longest permitted code, in bits.
+pub const MAX_CODE_LEN: u32 = 32;
+
+/// Frequency-derived code lengths via the standard Huffman heap algorithm.
+fn code_lengths(freqs: &[(u32, u64)]) -> Vec<(u32, u32)> {
+    assert!(!freqs.is_empty());
+    if freqs.len() == 1 {
+        // A lone symbol still needs one bit so the bit count encodes the run
+        // length unambiguously.
+        return vec![(freqs[0].0, 1)];
+    }
+
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        weight: u64,
+        // Tie-break on an id to make the construction deterministic.
+        id: usize,
+        kind: NodeKind,
+    }
+    #[derive(PartialEq, Eq)]
+    enum NodeKind {
+        Leaf(usize),
+        Internal(Box<Node>, Box<Node>),
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // BinaryHeap is a max-heap; invert for min-heap behaviour.
+            other
+                .weight
+                .cmp(&self.weight)
+                .then(other.id.cmp(&self.id))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut next_id = freqs.len();
+    let mut heap: BinaryHeap<Node> = freqs
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, w))| Node {
+            weight: w.max(1),
+            id: i,
+            kind: NodeKind::Leaf(i),
+        })
+        .collect();
+
+    while heap.len() > 1 {
+        let a = heap.pop().unwrap();
+        let b = heap.pop().unwrap();
+        let w = a.weight + b.weight;
+        heap.push(Node {
+            weight: w,
+            id: next_id,
+            kind: NodeKind::Internal(Box::new(a), Box::new(b)),
+        });
+        next_id += 1;
+    }
+
+    let root = heap.pop().unwrap();
+    let mut depths = vec![0u32; freqs.len()];
+    // Iterative DFS to avoid recursion limits on skewed trees.
+    let mut stack = vec![(root, 0u32)];
+    while let Some((node, depth)) = stack.pop() {
+        match node.kind {
+            NodeKind::Leaf(i) => depths[i] = depth.max(1),
+            NodeKind::Internal(a, b) => {
+                stack.push((*a, depth + 1));
+                stack.push((*b, depth + 1));
+            }
+        }
+    }
+    freqs
+        .iter()
+        .zip(depths)
+        .map(|(&(sym, _), d)| (sym, d))
+        .collect()
+}
+
+/// Canonical code assignment: returns `(symbol, length, code)` sorted by
+/// `(length, symbol)`.
+fn canonical_codes(mut lengths: Vec<(u32, u32)>) -> Vec<(u32, u32, u64)> {
+    lengths.sort_by_key(|&(sym, len)| (len, sym));
+    let mut out = Vec::with_capacity(lengths.len());
+    let mut code = 0u64;
+    let mut prev_len = 0u32;
+    for (sym, len) in lengths {
+        code <<= len - prev_len;
+        out.push((sym, len, code));
+        code += 1;
+        prev_len = len;
+    }
+    out
+}
+
+/// A Huffman encoder built from symbol frequencies.
+#[derive(Debug, Clone)]
+pub struct HuffmanEncoder {
+    /// symbol -> (length, code)
+    table: HashMap<u32, (u32, u64)>,
+}
+
+impl HuffmanEncoder {
+    /// Build an encoder from the symbols that will be encoded.
+    ///
+    /// Returns `None` for an empty input (nothing to encode).
+    pub fn from_symbols(symbols: &[u32]) -> Option<Self> {
+        if symbols.is_empty() {
+            return None;
+        }
+        let mut freq: HashMap<u32, u64> = HashMap::new();
+        for &s in symbols {
+            *freq.entry(s).or_insert(0) += 1;
+        }
+        let mut freqs: Vec<(u32, u64)> = freq.into_iter().collect();
+        freqs.sort_unstable();
+
+        // Flatten the distribution until no code exceeds MAX_CODE_LEN.
+        let mut lengths = code_lengths(&freqs);
+        while lengths.iter().any(|&(_, l)| l > MAX_CODE_LEN) {
+            for f in freqs.iter_mut() {
+                f.1 = (f.1 / 2).max(1);
+            }
+            lengths = code_lengths(&freqs);
+        }
+
+        let table = canonical_codes(lengths)
+            .into_iter()
+            .map(|(sym, len, code)| (sym, (len, code)))
+            .collect();
+        Some(HuffmanEncoder { table })
+    }
+
+    /// Number of distinct symbols in the code.
+    pub fn num_symbols(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Code length in bits for `symbol`, if present.
+    pub fn length_of(&self, symbol: u32) -> Option<u32> {
+        self.table.get(&symbol).map(|&(l, _)| l)
+    }
+
+    /// Exact size in bits of encoding `symbols` with this table (payload
+    /// only, excluding the serialized table).
+    pub fn payload_bits(&self, symbols: &[u32]) -> Option<usize> {
+        let mut total = 0usize;
+        for s in symbols {
+            total += self.table.get(s)?.0 as usize;
+        }
+        Some(total)
+    }
+
+    /// Serialize the code table and the encoded payload.
+    ///
+    /// Layout: varint symbol-count, then per symbol (varint symbol, u8
+    /// length), then varint payload symbol count, varint payload byte
+    /// length, payload bits.
+    pub fn encode(&self, symbols: &[u32], out: &mut ByteWriter) {
+        let mut entries: Vec<(u32, u32)> =
+            self.table.iter().map(|(&s, &(l, _))| (s, l)).collect();
+        entries.sort_by_key(|&(s, l)| (l, s));
+        out.put_varint(entries.len() as u64);
+        for (sym, len) in &entries {
+            out.put_varint(*sym as u64);
+            out.put_u8(*len as u8);
+        }
+        let mut bits = BitWriter::new();
+        for s in symbols {
+            let &(len, code) = self
+                .table
+                .get(s)
+                .expect("symbol not present in Huffman table");
+            bits.put_bits(code, len);
+        }
+        let payload = bits.finish();
+        out.put_varint(symbols.len() as u64);
+        out.put_len_prefixed(&payload);
+    }
+}
+
+/// Decoder over a serialized canonical Huffman stream.
+///
+/// Uses per-length first-code/offset tables: decoding a symbol of length
+/// `L` costs exactly `L` bit reads and `L` table probes.
+#[derive(Debug)]
+pub struct HuffmanDecoder {
+    /// Symbols sorted by (length, symbol) — canonical order.
+    symbols: Vec<u32>,
+    /// For each length 1..=MAX: the first canonical code of that length.
+    first_code: [u64; MAX_CODE_LEN as usize + 1],
+    /// Number of codes of each length.
+    count: [u32; MAX_CODE_LEN as usize + 1],
+    /// Index into `symbols` of the first code of each length.
+    offset: [u32; MAX_CODE_LEN as usize + 1],
+}
+
+impl HuffmanDecoder {
+    fn from_entries(entries: Vec<(u32, u32)>) -> Result<Self> {
+        let coded = canonical_codes(entries);
+        // Sanity-check the Kraft inequality so corrupt tables are rejected.
+        let kraft: f64 = coded.iter().map(|&(_, l, _)| 2f64.powi(-(l as i32))).sum();
+        if kraft > 1.0 + 1e-9 {
+            return Err(CodecError::Corrupt("Huffman table violates Kraft bound"));
+        }
+        let mut symbols = Vec::with_capacity(coded.len());
+        let mut first_code = [0u64; MAX_CODE_LEN as usize + 1];
+        let mut count = [0u32; MAX_CODE_LEN as usize + 1];
+        let mut offset = [0u32; MAX_CODE_LEN as usize + 1];
+        for (i, &(sym, len, code)) in coded.iter().enumerate() {
+            let l = len as usize;
+            if count[l] == 0 {
+                first_code[l] = code;
+                offset[l] = i as u32;
+            }
+            count[l] += 1;
+            symbols.push(sym);
+        }
+        Ok(HuffmanDecoder {
+            symbols,
+            first_code,
+            count,
+            offset,
+        })
+    }
+
+    /// Decode a stream produced by [`HuffmanEncoder::encode`].
+    pub fn decode(reader: &mut ByteReader) -> Result<Vec<u32>> {
+        let n_entries = reader.get_varint()? as usize;
+        if n_entries == 0 {
+            return Err(CodecError::Corrupt("empty Huffman table"));
+        }
+        if n_entries > (1 << 28) {
+            return Err(CodecError::Corrupt("implausible Huffman table size"));
+        }
+        let mut entries = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            let sym = reader.get_varint()? as u32;
+            let len = reader.get_u8()? as u32;
+            if len == 0 || len > MAX_CODE_LEN {
+                return Err(CodecError::Corrupt("invalid Huffman code length"));
+            }
+            entries.push((sym, len));
+        }
+        let decoder = Self::from_entries(entries)?;
+        let n_symbols = reader.get_varint()? as usize;
+        let payload = reader.get_len_prefixed()?;
+        let mut bits = BitReader::new(payload);
+        let mut out = Vec::with_capacity(n_symbols.min(1 << 28));
+        for _ in 0..n_symbols {
+            out.push(decoder.decode_one(&mut bits)?);
+        }
+        Ok(out)
+    }
+
+    /// Decode a single symbol from a bit stream.
+    #[inline]
+    fn decode_one(&self, bits: &mut BitReader) -> Result<u32> {
+        let mut code = 0u64;
+        for len in 1..=MAX_CODE_LEN as usize {
+            code = (code << 1) | bits.get_bit()? as u64;
+            let n = self.count[len] as u64;
+            if n > 0 {
+                let first = self.first_code[len];
+                if code >= first && code - first < n {
+                    let idx = self.offset[len] as usize + (code - first) as usize;
+                    return Ok(self.symbols[idx]);
+                }
+            }
+        }
+        Err(CodecError::Corrupt("Huffman code too long"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(symbols: &[u32]) -> Vec<u32> {
+        let enc = HuffmanEncoder::from_symbols(symbols).unwrap();
+        let mut w = ByteWriter::new();
+        enc.encode(symbols, &mut w);
+        let buf = w.finish();
+        let mut r = ByteReader::new(&buf);
+        HuffmanDecoder::decode(&mut r).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let data = vec![1, 2, 2, 3, 3, 3, 3, 7, 7, 1, 2];
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn roundtrip_single_symbol_run() {
+        let data = vec![42u32; 1000];
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn roundtrip_single_element() {
+        let data = vec![9u32];
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn roundtrip_large_alphabet() {
+        let data: Vec<u32> = (0..5000).map(|i| (i * i) % 1013).collect();
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        // 99% one symbol -> far below 32 bits/symbol.
+        let mut data = vec![0u32; 9900];
+        data.extend((1..101).map(|i| i as u32));
+        let enc = HuffmanEncoder::from_symbols(&data).unwrap();
+        let mut w = ByteWriter::new();
+        enc.encode(&data, &mut w);
+        let bytes = w.finish().len();
+        assert!(
+            bytes < data.len() / 2,
+            "expected compression, got {bytes} bytes for {} symbols",
+            data.len()
+        );
+    }
+
+    #[test]
+    fn empty_input_yields_none() {
+        assert!(HuffmanEncoder::from_symbols(&[]).is_none());
+    }
+
+    #[test]
+    fn frequent_symbols_get_shorter_codes() {
+        let mut data = vec![5u32; 1000];
+        data.extend(vec![6u32; 10]);
+        data.extend(vec![7u32; 10]);
+        let enc = HuffmanEncoder::from_symbols(&data).unwrap();
+        assert!(enc.length_of(5).unwrap() <= enc.length_of(6).unwrap());
+    }
+
+    #[test]
+    fn payload_bits_matches_encoded_len() {
+        let data = vec![1, 1, 2, 3, 1, 2, 1];
+        let enc = HuffmanEncoder::from_symbols(&data).unwrap();
+        let bits = enc.payload_bits(&data).unwrap();
+        let mut w = ByteWriter::new();
+        enc.encode(&data, &mut w);
+        let buf = w.finish();
+        let mut r = ByteReader::new(&buf);
+        // Skip table.
+        let n = r.get_varint().unwrap();
+        for _ in 0..n {
+            r.get_varint().unwrap();
+            r.get_u8().unwrap();
+        }
+        r.get_varint().unwrap();
+        let payload = r.get_len_prefixed().unwrap();
+        assert_eq!(payload.len(), bits.div_ceil(8));
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let data = vec![1, 2, 3, 1, 2, 3, 3, 3];
+        let enc = HuffmanEncoder::from_symbols(&data).unwrap();
+        let mut w = ByteWriter::new();
+        enc.encode(&data, &mut w);
+        let buf = w.finish();
+        for cut in 0..buf.len() {
+            let mut r = ByteReader::new(&buf[..cut]);
+            assert!(
+                HuffmanDecoder::decode(&mut r).is_err(),
+                "truncation at {cut} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_zero_length_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_varint(1); // one entry
+        w.put_varint(7); // symbol 7
+        w.put_u8(0); // invalid zero length
+        let buf = w.finish();
+        let mut r = ByteReader::new(&buf);
+        assert!(HuffmanDecoder::decode(&mut r).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! Lossless coding substrate shared by every compressor in the workspace.
+//!
+//! The SZ-family pipeline ends with *linear-scale quantization* of
+//! prediction residuals followed by entropy coding (Huffman) and a
+//! dictionary coder (zstd in the reference implementations). This crate
+//! provides from-scratch implementations of each stage:
+//!
+//! * [`bits`] — MSB-first bit-level writer/reader,
+//! * [`byteio`] — framed little-endian byte writer/reader with varints,
+//! * [`quantizer`] — the error-bounded linear-scale quantizer (SZ §III),
+//! * [`huffman`] — canonical Huffman coding over `u32` symbols,
+//! * [`lz`] — an LZSS dictionary coder standing in for zstd,
+//! * [`backend`] — the composed `bins → Huffman → LZSS` lossless backend.
+//!
+//! All decoders return [`CodecError`] on malformed input instead of
+//! panicking; corrupted streams must never crash a consumer.
+
+pub mod backend;
+pub mod bits;
+pub mod byteio;
+pub mod huffman;
+pub mod lz;
+pub mod quantizer;
+pub mod stream;
+
+pub use backend::{decode_bins, encode_bins, lossless_compress, lossless_decompress};
+pub use bits::{BitReader, BitWriter};
+pub use byteio::{ByteReader, ByteWriter};
+pub use huffman::{HuffmanDecoder, HuffmanEncoder};
+pub use quantizer::{LinearQuantizer, Quantized};
+pub use stream::{Compressor, CompressorId, ErrorBound, Header};
+
+/// Errors produced while decoding compressed streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The stream ended before the decoder finished.
+    UnexpectedEof,
+    /// A header/field contained an invalid value.
+    Corrupt(&'static str),
+    /// The stream was produced by an incompatible format version.
+    BadVersion(u8),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of compressed stream"),
+            CodecError::Corrupt(what) => write!(f, "corrupt compressed stream: {what}"),
+            CodecError::BadVersion(v) => write!(f, "unsupported stream version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, CodecError>;

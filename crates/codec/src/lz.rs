@@ -1,0 +1,267 @@
+//! LZSS dictionary coding.
+//!
+//! The SZ reference implementations run zstd over the Huffman-coded
+//! quantization stream; residual structure (runs of identical bins, level
+//! periodicity) is removed by dictionary matching. This module implements
+//! a classic LZSS with hash-chain match finding that fills the same role:
+//!
+//! * 64 KiB sliding window,
+//! * minimum match length 4, maximum 259 (8-bit length field),
+//! * MSB-first flag bits: `0` = literal byte, `1` = (distance, length)
+//!   back-reference.
+//!
+//! The format is framed with the uncompressed length so the decoder can
+//! pre-allocate and detect truncation.
+
+use crate::bits::{BitReader, BitWriter};
+use crate::byteio::{ByteReader, ByteWriter};
+use crate::{CodecError, Result};
+
+const WINDOW: usize = 1 << 16;
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = MIN_MATCH + 255;
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+/// Bounded chain walk; longer chains give better ratios but slow encoding.
+const MAX_CHAIN: usize = 64;
+
+#[inline(always)]
+fn hash4(data: &[u8]) -> usize {
+    let v = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress `input` with LZSS. The output starts with a varint of the
+/// uncompressed length.
+pub fn lzss_compress(input: &[u8]) -> Vec<u8> {
+    let mut out = ByteWriter::with_capacity(input.len() / 2 + 16);
+    out.put_varint(input.len() as u64);
+    if input.is_empty() {
+        return out.finish();
+    }
+
+    let mut bits = BitWriter::new();
+    let mut literals: Vec<u8> = Vec::with_capacity(input.len() / 2);
+    let mut matches: Vec<(u16, u8)> = Vec::new();
+
+    // head[h] = most recent position with hash h; prev[i % WINDOW] = chain.
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; WINDOW];
+
+    let n = input.len();
+    let mut i = 0;
+    while i < n {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= n {
+            let h = hash4(&input[i..]);
+            let mut cand = head[h];
+            let mut chain = 0;
+            let limit = (n - i).min(MAX_MATCH);
+            while cand != usize::MAX && i - cand < WINDOW && chain < MAX_CHAIN {
+                // Quick reject: check the byte just past the current best.
+                if best_len == 0 || input[cand + best_len] == input[i + best_len] {
+                    let mut l = 0;
+                    while l < limit && input[cand + l] == input[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = i - cand;
+                        if l == limit {
+                            break;
+                        }
+                    }
+                }
+                cand = prev[cand % WINDOW];
+                chain += 1;
+            }
+        }
+
+        if best_len >= MIN_MATCH {
+            bits.put_bit(true);
+            matches.push((best_dist as u16, (best_len - MIN_MATCH) as u8));
+            // Insert hash entries for every covered position.
+            let end = (i + best_len).min(n.saturating_sub(MIN_MATCH - 1));
+            let mut j = i;
+            while j < end {
+                let h = hash4(&input[j..]);
+                prev[j % WINDOW] = head[h];
+                head[h] = j;
+                j += 1;
+            }
+            i += best_len;
+        } else {
+            bits.put_bit(false);
+            literals.push(input[i]);
+            if i + MIN_MATCH <= n {
+                let h = hash4(&input[i..]);
+                prev[i % WINDOW] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+    }
+
+    out.put_len_prefixed(&bits.finish());
+    out.put_len_prefixed(&literals);
+    out.put_varint(matches.len() as u64);
+    for (dist, len) in matches {
+        out.put_u16(dist);
+        out.put_u8(len);
+    }
+    out.finish()
+}
+
+/// Decompress a buffer produced by [`lzss_compress`].
+pub fn lzss_decompress(input: &[u8]) -> Result<Vec<u8>> {
+    let mut r = ByteReader::new(input);
+    let total = r.get_varint()? as usize;
+    if total > (1 << 34) {
+        return Err(CodecError::Corrupt("implausible uncompressed size"));
+    }
+    if total == 0 {
+        return Ok(Vec::new());
+    }
+    let flags = r.get_len_prefixed()?;
+    let literals = r.get_len_prefixed()?;
+    let n_matches = r.get_varint()? as usize;
+    if n_matches > input.len() {
+        return Err(CodecError::Corrupt("implausible match count"));
+    }
+    let mut match_list = Vec::with_capacity(n_matches);
+    for _ in 0..n_matches {
+        let dist = r.get_u16()? as usize;
+        let len = r.get_u8()? as usize + MIN_MATCH;
+        match_list.push((dist, len));
+    }
+
+    let mut bits = BitReader::new(flags);
+    let mut lit_iter = literals.iter();
+    let mut match_iter = match_list.iter();
+    let mut out: Vec<u8> = Vec::with_capacity(total);
+    while out.len() < total {
+        if bits.get_bit()? {
+            let &(dist, len) = match_iter
+                .next()
+                .ok_or(CodecError::Corrupt("missing match"))?;
+            if dist == 0 || dist > out.len() {
+                return Err(CodecError::Corrupt("match distance out of range"));
+            }
+            let start = out.len() - dist;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        } else {
+            let &b = lit_iter
+                .next()
+                .ok_or(CodecError::Corrupt("missing literal"))?;
+            out.push(b);
+        }
+    }
+    if out.len() != total {
+        return Err(CodecError::Corrupt("length mismatch after decode"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = lzss_compress(data);
+        let d = lzss_decompress(&c).unwrap();
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn roundtrip_short() {
+        roundtrip(b"abc");
+    }
+
+    #[test]
+    fn roundtrip_repetitive() {
+        let data: Vec<u8> = b"abcdefgh".iter().cycle().take(10_000).copied().collect();
+        let c = lzss_compress(&data);
+        assert!(
+            c.len() < data.len() / 4,
+            "repetitive data should compress well, got {} for {}",
+            c.len(),
+            data.len()
+        );
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn roundtrip_incompressible() {
+        // Pseudo-random bytes: xorshift.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn roundtrip_run_of_zeros() {
+        roundtrip(&vec![0u8; 100_000]);
+    }
+
+    #[test]
+    fn roundtrip_overlapping_match() {
+        // "aaaa..." forces overlapping copies (dist 1, long match).
+        let mut data = vec![b'x'];
+        data.extend(vec![b'a'; 500]);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn roundtrip_long_mixed() {
+        let mut data = Vec::new();
+        for i in 0..5000u32 {
+            data.extend_from_slice(&(i % 97).to_le_bytes());
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let data: Vec<u8> = b"hello world hello world hello world".to_vec();
+        let c = lzss_compress(&data);
+        for cut in 0..c.len() {
+            assert!(
+                lzss_decompress(&c[..cut]).is_err(),
+                "truncation at {cut} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_distance_rejected() {
+        // Hand-build: total=4, flags = [1 match], no literals, 1 match with
+        // distance 9 (> produced output).
+        let mut w = ByteWriter::new();
+        w.put_varint(4);
+        let mut bits = BitWriter::new();
+        bits.put_bit(true);
+        w.put_len_prefixed(&bits.finish());
+        w.put_len_prefixed(&[]);
+        w.put_varint(1);
+        w.put_u16(9);
+        w.put_u8(0);
+        let buf = w.finish();
+        assert!(lzss_decompress(&buf).is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! Common compressed-stream framing and the [`Compressor`] trait.
+//!
+//! Every compressor in the workspace emits a self-describing stream with
+//! the same header (magic, format version, compressor id, scalar tag,
+//! shape, error bound) so that tools like the parallel-I/O harness can
+//! dispatch on compressed blobs without out-of-band metadata.
+
+use crate::byteio::{ByteReader, ByteWriter};
+use crate::{CodecError, Result};
+use qoz_tensor::{NdArray, Scalar, Shape};
+
+/// 4-byte stream magic: "QZWS" (QoZ workspace).
+pub const MAGIC: [u8; 4] = *b"QZWS";
+/// Current stream format version.
+pub const VERSION: u8 = 1;
+
+/// Identifies which compressor produced a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum CompressorId {
+    /// SZ2.1-style block Lorenzo/regression.
+    Sz2 = 1,
+    /// SZ3-style global spline interpolation.
+    Sz3 = 2,
+    /// ZFP-style block transform.
+    Zfp = 3,
+    /// MGARD+-style multilevel.
+    Mgard = 4,
+    /// QoZ (this paper).
+    Qoz = 5,
+}
+
+impl CompressorId {
+    /// Parse from the header byte.
+    pub fn from_u8(v: u8) -> Result<Self> {
+        Ok(match v {
+            1 => CompressorId::Sz2,
+            2 => CompressorId::Sz3,
+            3 => CompressorId::Zfp,
+            4 => CompressorId::Mgard,
+            5 => CompressorId::Qoz,
+            _ => return Err(CodecError::Corrupt("unknown compressor id")),
+        })
+    }
+
+    /// Display name used in benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            CompressorId::Sz2 => "SZ2.1",
+            CompressorId::Sz3 => "SZ3",
+            CompressorId::Zfp => "ZFP",
+            CompressorId::Mgard => "MGARD+",
+            CompressorId::Qoz => "QoZ",
+        }
+    }
+}
+
+/// User-facing error-bound specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ErrorBound {
+    /// Absolute bound `e`: every point satisfies `|x - x'| <= e`.
+    Abs(f64),
+    /// Value-range-relative bound `ε`: `e = ε * (max - min)`. This is the
+    /// mode used throughout the paper's evaluation.
+    Rel(f64),
+}
+
+impl ErrorBound {
+    /// Resolve to an absolute bound for a concrete array.
+    ///
+    /// Constant arrays (range 0) under a relative bound resolve to a tiny
+    /// positive epsilon — every residual is 0 there anyway.
+    pub fn absolute<T: Scalar>(self, data: &NdArray<T>) -> f64 {
+        match self {
+            ErrorBound::Abs(e) => {
+                assert!(e > 0.0 && e.is_finite(), "invalid absolute bound {e}");
+                e
+            }
+            ErrorBound::Rel(eps) => {
+                assert!(eps > 0.0 && eps.is_finite(), "invalid relative bound {eps}");
+                let r = data.value_range();
+                if r > 0.0 {
+                    eps * r
+                } else {
+                    f64::MIN_POSITIVE.max(1e-30)
+                }
+            }
+        }
+    }
+}
+
+/// Parsed stream header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Header {
+    /// Producing compressor.
+    pub compressor: CompressorId,
+    /// Scalar type tag ([`Scalar::TYPE_TAG`]).
+    pub scalar_tag: u8,
+    /// Array shape.
+    pub shape: Shape,
+    /// Absolute error bound the stream was produced with.
+    pub abs_eb: f64,
+}
+
+/// Write the common stream header.
+pub fn write_header(w: &mut ByteWriter, h: &Header) {
+    w.put_bytes(&MAGIC);
+    w.put_u8(VERSION);
+    w.put_u8(h.compressor as u8);
+    w.put_u8(h.scalar_tag);
+    w.put_u8(h.shape.ndim() as u8);
+    for &d in h.shape.dims() {
+        w.put_varint(d as u64);
+    }
+    w.put_f64(h.abs_eb);
+}
+
+/// Read and validate the common stream header.
+pub fn read_header(r: &mut ByteReader) -> Result<Header> {
+    let magic = r.get_bytes(4)?;
+    if magic != MAGIC {
+        return Err(CodecError::Corrupt("bad magic"));
+    }
+    let version = r.get_u8()?;
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let compressor = CompressorId::from_u8(r.get_u8()?)?;
+    let scalar_tag = r.get_u8()?;
+    let ndim = r.get_u8()? as usize;
+    if ndim == 0 || ndim > qoz_tensor::MAX_NDIM {
+        return Err(CodecError::Corrupt("bad rank"));
+    }
+    let mut dims = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        let d = r.get_varint()? as usize;
+        if d == 0 || d > (1 << 32) {
+            return Err(CodecError::Corrupt("bad dimension"));
+        }
+        dims.push(d);
+    }
+    let abs_eb = r.get_f64()?;
+    if abs_eb.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !abs_eb.is_finite() {
+        return Err(CodecError::Corrupt("bad error bound"));
+    }
+    Ok(Header {
+        compressor,
+        scalar_tag,
+        shape: Shape::new(&dims),
+        abs_eb,
+    })
+}
+
+/// The interface every compressor in the workspace implements.
+pub trait Compressor<T: Scalar> {
+    /// Stable identifier (also stored in stream headers).
+    fn id(&self) -> CompressorId;
+
+    /// Compress `data` under `bound`, returning a self-describing blob.
+    fn compress(&self, data: &NdArray<T>, bound: ErrorBound) -> Vec<u8>;
+
+    /// Decompress a blob produced by [`Compressor::compress`].
+    fn decompress(&self, blob: &[u8]) -> Result<NdArray<T>>;
+
+    /// Display name.
+    fn name(&self) -> &'static str {
+        self.id().name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = Header {
+            compressor: CompressorId::Qoz,
+            scalar_tag: f32::TYPE_TAG,
+            shape: Shape::d3(10, 20, 30),
+            abs_eb: 1e-3,
+        };
+        let mut w = ByteWriter::new();
+        write_header(&mut w, &h);
+        let buf = w.finish();
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(read_header(&mut r).unwrap(), h);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_bytes(b"NOPE");
+        w.put_u8(VERSION);
+        let buf = w.finish();
+        let mut r = ByteReader::new(&buf);
+        assert!(read_header(&mut r).is_err());
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let h = Header {
+            compressor: CompressorId::Sz3,
+            scalar_tag: f64::TYPE_TAG,
+            shape: Shape::d1(5),
+            abs_eb: 0.5,
+        };
+        let mut w = ByteWriter::new();
+        write_header(&mut w, &h);
+        let mut buf = w.finish();
+        buf[4] = 99; // version byte
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(read_header(&mut r), Err(CodecError::BadVersion(99)));
+    }
+
+    #[test]
+    fn relative_bound_resolves_via_range() {
+        let a = NdArray::from_vec(Shape::d1(3), vec![0.0f64, 5.0, 10.0]);
+        assert_eq!(ErrorBound::Rel(1e-2).absolute(&a), 0.1);
+        assert_eq!(ErrorBound::Abs(0.25).absolute(&a), 0.25);
+    }
+
+    #[test]
+    fn relative_bound_on_constant_data_positive() {
+        let a = NdArray::from_vec(Shape::d1(4), vec![3.0f32; 4]);
+        assert!(ErrorBound::Rel(1e-3).absolute(&a) > 0.0);
+    }
+
+    #[test]
+    fn compressor_ids_roundtrip() {
+        for id in [
+            CompressorId::Sz2,
+            CompressorId::Sz3,
+            CompressorId::Zfp,
+            CompressorId::Mgard,
+            CompressorId::Qoz,
+        ] {
+            assert_eq!(CompressorId::from_u8(id as u8).unwrap(), id);
+        }
+        assert!(CompressorId::from_u8(0).is_err());
+    }
+}

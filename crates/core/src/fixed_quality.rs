@@ -1,0 +1,224 @@
+//! Fixed-quality compression: hit a *quality target* instead of an error
+//! bound.
+//!
+//! The paper's related work (Tao et al., CLUSTER'18) supports compressing
+//! to a fixed PSNR; QoZ's sampling machinery makes the generalization
+//! natural: estimate the quality-vs-bound curve on the sampled blocks,
+//! geometric-bisect the bound, then run the normal metric-tuned
+//! compression and verify the target on the full reconstruction,
+//! tightening if the sampled estimate was optimistic.
+//!
+//! The result still carries QoZ's hard error-bound guarantee at the bound
+//! the search settles on.
+
+use crate::{Qoz, QozPlan};
+use qoz_codec::stream::ErrorBound;
+use qoz_codec::Result;
+use qoz_metrics::{psnr, ssim};
+use qoz_tensor::{sample_blocks, NdArray, SamplePlan, Scalar};
+use qoz_sz3::{compress_with_spec, InterpSpec};
+
+/// A quality target for [`Qoz::compress_to_quality`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QualityTarget {
+    /// Minimum PSNR in dB.
+    Psnr(f64),
+    /// Minimum mean windowed SSIM in `[0, 1]`.
+    Ssim(f64),
+}
+
+impl QualityTarget {
+    fn satisfied(&self, achieved: f64) -> bool {
+        match self {
+            QualityTarget::Psnr(t) | QualityTarget::Ssim(t) => achieved >= *t,
+        }
+    }
+}
+
+/// Outcome of a fixed-quality compression.
+#[derive(Debug, Clone)]
+pub struct FixedQualityResult {
+    /// The compressed stream.
+    pub blob: Vec<u8>,
+    /// The relative error bound the search settled on.
+    pub rel_bound: f64,
+    /// Quality achieved on the full reconstruction.
+    pub achieved: f64,
+    /// The plan used for the final pass.
+    pub plan: QozPlan,
+}
+
+impl Qoz {
+    /// Estimate the quality at a relative bound from the sampled blocks.
+    fn sampled_quality<T: Scalar>(
+        &self,
+        blocks: &[NdArray<T>],
+        range: f64,
+        eps: f64,
+        target: QualityTarget,
+    ) -> f64 {
+        let abs = eps * range;
+        let mut se = 0.0f64;
+        let mut ssim_acc = 0.0f64;
+        let mut n = 0usize;
+        for b in blocks {
+            let spec = InterpSpec::anchored(16, abs, Default::default());
+            let out = compress_with_spec(b, &spec);
+            match target {
+                QualityTarget::Psnr(_) => {
+                    se += qoz_metrics::mse(b, &out.recon) * b.len() as f64;
+                }
+                QualityTarget::Ssim(_) => {
+                    ssim_acc += ssim(b, &out.recon) * b.len() as f64;
+                }
+            }
+            n += b.len();
+        }
+        match target {
+            QualityTarget::Psnr(_) => {
+                let mse = se / n.max(1) as f64;
+                if mse == 0.0 {
+                    f64::INFINITY
+                } else {
+                    20.0 * (range / mse.sqrt()).log10()
+                }
+            }
+            QualityTarget::Ssim(_) => ssim_acc / n.max(1) as f64,
+        }
+    }
+
+    /// Compress to a minimum quality target, maximizing compression ratio
+    /// subject to it.
+    ///
+    /// Returns an error only if decompression of the self-produced stream
+    /// fails (which would be a bug); an unreachable target (e.g. SSIM
+    /// 1.0 on noisy data) converges to the tightest searched bound.
+    pub fn compress_to_quality<T: Scalar>(
+        &self,
+        data: &NdArray<T>,
+        target: QualityTarget,
+    ) -> Result<FixedQualityResult> {
+        let range = data.value_range();
+        let plan_cfg = SamplePlan::from_rate(
+            data.shape(),
+            self.config.effective_sample_block(data.shape()),
+            self.config.effective_sample_rate(data.shape()),
+        );
+        let blocks = sample_blocks(data, &plan_cfg);
+
+        // Geometric bisection on the relative bound.
+        let mut lo = 1e-8f64; // quality too high (wasteful)
+        let mut hi = 1e-1f64; // quality too low
+        for _ in 0..14 {
+            let mid = (lo * hi).sqrt();
+            let q = self.sampled_quality(&blocks, range, mid, target);
+            if target.satisfied(q) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let mut eps = lo;
+
+        // Full pass with the real tuner; verify and tighten if the
+        // sampled estimate was optimistic.
+        for _attempt in 0..4 {
+            let bound = ErrorBound::Rel(eps);
+            let plan = self.plan(data, bound);
+            let blob = self.compress_with_plan(data, &plan);
+            let recon: NdArray<T> = self.decompress_typed(&blob)?;
+            let achieved = match target {
+                QualityTarget::Psnr(_) => psnr(data, &recon),
+                QualityTarget::Ssim(_) => ssim(data, &recon),
+            };
+            if target.satisfied(achieved) || eps <= 2e-8 {
+                return Ok(FixedQualityResult {
+                    blob,
+                    rel_bound: eps,
+                    achieved,
+                    plan,
+                });
+            }
+            eps /= 2.0;
+        }
+        // Final fallback at the tightest bound tried.
+        let bound = ErrorBound::Rel(eps);
+        let plan = self.plan(data, bound);
+        let blob = self.compress_with_plan(data, &plan);
+        let recon: NdArray<T> = self.decompress_typed(&blob)?;
+        let achieved = match target {
+            QualityTarget::Psnr(_) => psnr(data, &recon),
+            QualityTarget::Ssim(_) => ssim(data, &recon),
+        };
+        Ok(FixedQualityResult {
+            blob,
+            rel_bound: eps,
+            achieved,
+            plan,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoz_datagen::{Dataset, SizeClass};
+
+    #[test]
+    fn hits_psnr_target() {
+        let data = Dataset::CesmAtm.generate(SizeClass::Tiny, 0);
+        let qoz = Qoz::default();
+        for target_db in [50.0, 70.0] {
+            let r = qoz
+                .compress_to_quality(&data, QualityTarget::Psnr(target_db))
+                .unwrap();
+            assert!(
+                r.achieved >= target_db,
+                "target {target_db} dB, achieved {:.2}",
+                r.achieved
+            );
+            // Should not wildly overshoot (within ~20 dB of the target).
+            assert!(
+                r.achieved <= target_db + 25.0,
+                "overshoot: target {target_db}, achieved {:.2}",
+                r.achieved
+            );
+        }
+    }
+
+    #[test]
+    fn higher_target_costs_more_bits() {
+        let data = Dataset::Miranda.generate(SizeClass::Tiny, 0);
+        let qoz = Qoz::default();
+        let a = qoz
+            .compress_to_quality(&data, QualityTarget::Psnr(45.0))
+            .unwrap();
+        let b = qoz
+            .compress_to_quality(&data, QualityTarget::Psnr(80.0))
+            .unwrap();
+        assert!(b.blob.len() > a.blob.len());
+        assert!(b.rel_bound < a.rel_bound);
+    }
+
+    #[test]
+    fn hits_ssim_target() {
+        let data = Dataset::Hurricane.generate(SizeClass::Tiny, 0);
+        let qoz = Qoz::default();
+        let r = qoz
+            .compress_to_quality(&data, QualityTarget::Ssim(0.95))
+            .unwrap();
+        assert!(r.achieved >= 0.95, "achieved {:.4}", r.achieved);
+    }
+
+    #[test]
+    fn stream_remains_decodable_and_bounded() {
+        let data = Dataset::Nyx.generate(SizeClass::Tiny, 1);
+        let qoz = Qoz::default();
+        let r = qoz
+            .compress_to_quality(&data, QualityTarget::Psnr(60.0))
+            .unwrap();
+        let recon: qoz_tensor::NdArray<f32> = qoz.decompress_typed(&r.blob).unwrap();
+        let abs = r.rel_bound * data.value_range();
+        assert!(data.max_abs_diff(&recon) <= abs * (1.0 + 1e-9));
+    }
+}

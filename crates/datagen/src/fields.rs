@@ -1,0 +1,321 @@
+//! Application-like synthetic field generators.
+//!
+//! Each generator composes [`crate::noise`] fBm with analytic structure
+//! characteristic of its application class (see `DESIGN.md` §3 for the
+//! substitution rationale). All generators are deterministic in
+//! `(shape, seed)` and produce `f32` fields like the SDRBench originals.
+
+use crate::noise::{fbm, FbmParams};
+use qoz_tensor::{NdArray, Shape, MAX_NDIM};
+
+#[inline]
+fn posf(idx: &[usize]) -> [f64; MAX_NDIM] {
+    let mut p = [0.0f64; MAX_NDIM];
+    for (d, &i) in idx.iter().enumerate() {
+        p[d] = i as f64;
+    }
+    p
+}
+
+/// CESM-ATM-like 2D climate field: strong zonal (latitude) banding, a
+/// smooth planetary-scale component and weather-scale fractal detail.
+/// Mirrors fields like CLDHGH/FSUTOA: mostly smooth with sharp regional
+/// features.
+pub fn cesm_like(shape: Shape, seed: u64) -> NdArray<f32> {
+    assert_eq!(shape.ndim(), 2, "CESM-ATM fields are 2D");
+    let (nr, nc) = (shape.dim(0) as f64, shape.dim(1) as f64);
+    let large = FbmParams {
+        octaves: 3,
+        base_wavelength: nr.max(nc) / 2.0,
+        gain: 0.45,
+        lacunarity: 2.0,
+    };
+    let detail = FbmParams {
+        octaves: 5,
+        base_wavelength: nr.max(nc) / 12.0,
+        gain: 0.55,
+        lacunarity: 2.0,
+    };
+    NdArray::from_fn(shape, |idx| {
+        let p = posf(idx);
+        let lat = idx[0] as f64 / nr; // 0..1 pole-to-pole
+        // Zonal banding: insolation-like cosine + jet-stream wiggle.
+        let band = (std::f64::consts::PI * (lat - 0.5)).cos();
+        let jet = (2.0 * std::f64::consts::TAU * lat + 3.0 * fbm(seed ^ 0xA1, &p, &large)).sin();
+        let v = 0.9 * band + 0.25 * jet + 0.5 * fbm(seed, &p, &large)
+            + 0.18 * fbm(seed ^ 0xB2, &p, &detail);
+        v as f32
+    })
+}
+
+/// Miranda-like 3D turbulence: smooth fractal cascade with a mixing-layer
+/// gradient along the first axis (large-eddy simulation of multi-component
+/// flows).
+pub fn miranda_like(shape: Shape, seed: u64) -> NdArray<f32> {
+    assert_eq!(shape.ndim(), 3, "Miranda fields are 3D");
+    let n0 = shape.dim(0) as f64;
+    let cascade = FbmParams {
+        octaves: 5,
+        base_wavelength: shape.dims().iter().copied().max().unwrap() as f64 / 3.0,
+        gain: 0.42, // steep spectrum => smooth, like well-resolved LES
+        lacunarity: 2.0,
+    };
+    NdArray::from_fn(shape, |idx| {
+        let p = posf(idx);
+        let z = idx[0] as f64 / n0;
+        // Mixing layer: smooth tanh density transition + turbulence that
+        // is strongest inside the layer.
+        let layer = ((z - 0.5) * 6.0).tanh();
+        let envelope = 1.0 - layer * layer; // peaks mid-layer
+        let turb = fbm(seed, &p, &cascade);
+        (1.5 + layer + 0.8 * envelope * turb) as f32
+    })
+}
+
+/// RTM-like 3D seismic wavefield: oscillatory spherical wavefronts from a
+/// shallow source over a layered velocity medium, with reflective
+/// structure along depth.
+pub fn rtm_like(shape: Shape, seed: u64) -> NdArray<f32> {
+    assert_eq!(shape.ndim(), 3, "RTM fields are 3D");
+    let dims = [shape.dim(0) as f64, shape.dim(1) as f64, shape.dim(2) as f64];
+    let medium = FbmParams {
+        octaves: 3,
+        base_wavelength: dims[2].max(dims[0]) / 2.5,
+        gain: 0.5,
+        lacunarity: 2.0,
+    };
+    // Source near the surface centre.
+    let src = [dims[0] * 0.5, dims[1] * 0.5, dims[2] * 0.08];
+    let wavelength = dims.iter().cloned().fold(f64::MAX, f64::min) / 6.0;
+    NdArray::from_fn(shape, |idx| {
+        let p = posf(idx);
+        let depth = idx[2] as f64 / dims[2];
+        // Layered medium: depth-periodic impedance with fractal wobble.
+        let layer_phase = depth * 9.0 + 1.5 * fbm(seed ^ 0x11, &p, &medium);
+        let layers = (std::f64::consts::TAU * layer_phase).sin();
+        // Propagating wavefront: radial oscillation with 1/r decay.
+        let r = ((p[0] - src[0]).powi(2) + (p[1] - src[1]).powi(2) + (p[2] - src[2]).powi(2))
+            .sqrt()
+            .max(1.0);
+        let front = (std::f64::consts::TAU * r / wavelength).sin() / (1.0 + r / (4.0 * wavelength));
+        (0.6 * layers + 1.4 * front) as f32
+    })
+}
+
+/// NYX-like 3D cosmological baryon density: exponentiated fractal field
+/// giving a positive, lognormal-ish distribution spanning several orders
+/// of magnitude (voids vs. halos).
+pub fn nyx_like(shape: Shape, seed: u64) -> NdArray<f32> {
+    assert_eq!(shape.ndim(), 3, "NYX fields are 3D");
+    let cascade = FbmParams {
+        octaves: 6,
+        base_wavelength: shape.dims().iter().copied().max().unwrap() as f64 / 2.0,
+        gain: 0.6, // shallow spectrum: strong small-scale contrast
+        lacunarity: 2.0,
+    };
+    NdArray::from_fn(shape, |idx| {
+        let p = posf(idx);
+        let delta = fbm(seed, &p, &cascade);
+        // Lognormal transform; scale chosen to give ~3 decades of range.
+        (10.0 * (2.2 * delta).exp()) as f32
+    })
+}
+
+/// Hurricane-Isabel-like 3D wind-speed field: an intense vertical vortex
+/// (calm eye, fast eyewall, decaying tail) embedded in ambient flow.
+/// First axis is altitude.
+pub fn hurricane_like(shape: Shape, seed: u64) -> NdArray<f32> {
+    assert_eq!(shape.ndim(), 3, "Hurricane fields are 3D");
+    let dims = [shape.dim(0) as f64, shape.dim(1) as f64, shape.dim(2) as f64];
+    let ambient = FbmParams {
+        octaves: 4,
+        base_wavelength: dims[1].max(dims[2]) / 4.0,
+        gain: 0.5,
+        lacunarity: 2.0,
+    };
+    let eye_r = dims[1].min(dims[2]) * 0.08;
+    NdArray::from_fn(shape, |idx| {
+        let p = posf(idx);
+        let alt = idx[0] as f64 / dims[0];
+        // Eye drifts slightly with altitude.
+        let cx = dims[1] * 0.5 + dims[1] * 0.04 * (alt * 3.0).sin();
+        let cy = dims[2] * 0.5 + dims[2] * 0.04 * (alt * 2.0).cos();
+        let dx = p[1] - cx;
+        let dy = p[2] - cy;
+        let r = (dx * dx + dy * dy).sqrt();
+        // Rankine-like tangential speed profile: linear inside the eye,
+        // 1/sqrt(r) decay outside.
+        let speed = if r < eye_r {
+            r / eye_r
+        } else {
+            (eye_r / r).sqrt()
+        };
+        let weaken = 1.0 - 0.5 * alt; // storm weakens aloft
+        (40.0 * speed * weaken + 6.0 * fbm(seed, &p, &ambient)) as f32
+    })
+}
+
+/// Scale-LETKF-like 3D assimilation field: a sharp moving front (sigmoid)
+/// with trailing gravity-wave oscillations and mesoscale noise. First
+/// axis is the (shallow) vertical.
+pub fn scale_letkf_like(shape: Shape, seed: u64) -> NdArray<f32> {
+    assert_eq!(shape.ndim(), 3, "Scale-LETKF fields are 3D");
+    let dims = [shape.dim(0) as f64, shape.dim(1) as f64, shape.dim(2) as f64];
+    let meso = FbmParams {
+        octaves: 5,
+        base_wavelength: dims[1].max(dims[2]) / 6.0,
+        gain: 0.5,
+        lacunarity: 2.0,
+    };
+    let band = FbmParams {
+        octaves: 2,
+        base_wavelength: dims[1].max(dims[2]) / 1.5,
+        gain: 0.4,
+        lacunarity: 2.0,
+    };
+    NdArray::from_fn(shape, |idx| {
+        let p = posf(idx);
+        let alt = idx[0] as f64 / dims[0];
+        // Frontal position wanders across the domain.
+        let front_pos = dims[1] * (0.45 + 0.12 * fbm(seed ^ 0x77, &[p[2], alt * 30.0], &band));
+        let d = (p[1] - front_pos) / (dims[1] * 0.03);
+        let front = d.tanh();
+        // Trailing gravity waves behind the front only.
+        let waves = if d < 0.0 {
+            0.3 * (d * 2.5).sin() * (-d * 0.15).exp().recip().min(1.0)
+        } else {
+            0.0
+        };
+        (8.0 * front + waves + 1.2 * fbm(seed, &p, &meso) + 4.0 * (1.0 - alt)) as f32
+    })
+}
+
+/// Time-varying 4D field: a slowly advected/evolving fractal volume with
+/// shape `[steps, d0, d1, d2]`. Stands in for consecutive snapshots of a
+/// simulation (the form in which 3D apps like Hurricane-Isabel actually
+/// ship: 48 time steps × 13 fields). Exercises the workspace's 4D
+/// (`MAX_NDIM`) code paths end to end.
+pub fn time_series_like(shape: Shape, seed: u64) -> NdArray<f32> {
+    assert_eq!(shape.ndim(), 4, "time series fields are 4D [t, x, y, z]");
+    let dims = [
+        shape.dim(0) as f64,
+        shape.dim(1) as f64,
+        shape.dim(2) as f64,
+        shape.dim(3) as f64,
+    ];
+    let cascade = FbmParams {
+        octaves: 4,
+        base_wavelength: dims[1..].iter().cloned().fold(1.0, f64::max) / 3.0,
+        gain: 0.45,
+        lacunarity: 2.0,
+    };
+    // Advection velocity in grid points per step plus slow in-place
+    // evolution along a fourth noise coordinate.
+    let vel = [0.7, -0.4, 0.2];
+    NdArray::from_fn(shape, |idx| {
+        let t = idx[0] as f64;
+        let p = [
+            idx[1] as f64 + vel[0] * t,
+            idx[2] as f64 + vel[1] * t,
+            idx[3] as f64 + vel[2] * t,
+            t * 2.5, // temporal decorrelation scale
+        ];
+        (1.2 * fbm(seed, &p, &cascade) + 0.3 * (t / dims[0] * std::f64::consts::TAU).sin()) as f32
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cesm_has_zonal_structure() {
+        // Row means should vary much more than column-mean noise: the
+        // banding is along latitude.
+        let f = cesm_like(Shape::d2(64, 128), 1);
+        let (nr, nc) = (64usize, 128usize);
+        let mut row_means = vec![0.0f64; nr];
+        for i in 0..nr {
+            for j in 0..nc {
+                row_means[i] += f.get(&[i, j]) as f64;
+            }
+            row_means[i] /= nc as f64;
+        }
+        let spread = row_means.iter().cloned().fold(f64::MIN, f64::max)
+            - row_means.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 0.5, "zonal spread {spread}");
+    }
+
+    #[test]
+    fn hurricane_eye_is_calm() {
+        let shape = Shape::d3(8, 64, 64);
+        let f = hurricane_like(shape, 2);
+        // Wind speed near the exact centre (eye) should be lower than at
+        // the eyewall radius.
+        let eye = f.get(&[0, 32, 32]) as f64;
+        let eyewall = f.get(&[0, 32 + 5, 32]) as f64;
+        assert!(eyewall > eye, "eyewall {eyewall} vs eye {eye}");
+    }
+
+    #[test]
+    fn rtm_oscillates() {
+        // Wavefield should have many sign changes along a ray.
+        let f = rtm_like(Shape::d3(48, 48, 32), 3);
+        let mut flips = 0;
+        let mut prev = f.get(&[24, 24, 0]);
+        for k in 1..32 {
+            let v = f.get(&[24, 24, k]);
+            if v.signum() != prev.signum() {
+                flips += 1;
+            }
+            prev = v;
+        }
+        assert!(flips >= 3, "only {flips} sign changes along depth");
+    }
+
+    #[test]
+    fn nyx_positive_everywhere() {
+        let f = nyx_like(Shape::d3(24, 24, 24), 4);
+        assert!(f.as_slice().iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn letkf_front_creates_bimodal_rows() {
+        let shape = Shape::d3(4, 64, 64);
+        let f = scale_letkf_like(shape, 5);
+        // Values on the two sides of the domain along dim1 should differ
+        // systematically (the front separates them).
+        let mut left = 0.0f64;
+        let mut right = 0.0f64;
+        for k in 0..64 {
+            left += f.get(&[0, 4, k]) as f64;
+            right += f.get(&[0, 60, k]) as f64;
+        }
+        assert!((right - left).abs() > 100.0, "front not visible: {left} vs {right}");
+    }
+
+    #[test]
+    fn generators_reject_wrong_rank() {
+        let r = std::panic::catch_unwind(|| cesm_like(Shape::d3(4, 4, 4), 0));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn time_series_is_temporally_coherent() {
+        let shape = Shape::new(&[6, 16, 16, 16]);
+        let f = time_series_like(shape, 7);
+        assert!(f.as_slice().iter().all(|v| v.is_finite()));
+        // Consecutive steps must be far more similar than distant ones.
+        let step = 16 * 16 * 16;
+        let s = f.as_slice();
+        let d = |a: usize, b: usize| -> f64 {
+            s[a * step..(a + 1) * step]
+                .iter()
+                .zip(&s[b * step..(b + 1) * step])
+                .map(|(x, y)| ((x - y) as f64).abs())
+                .sum::<f64>()
+                / step as f64
+        };
+        assert!(d(0, 1) < d(0, 5), "adjacent {} vs distant {}", d(0, 1), d(0, 5));
+    }
+}

@@ -1,0 +1,200 @@
+//! Seeded synthetic scientific datasets.
+//!
+//! The paper evaluates on six SDRBench applications (CESM-ATM, Miranda,
+//! RTM, NYX, Hurricane-Isabel, Scale-LETKF) totalling hundreds of
+//! gigabytes of proprietary or hard-to-obtain simulation output. This
+//! crate generates *statistical stand-ins*: seeded synthetic fields whose
+//! local smoothness, dynamic range, anisotropy and spectral content mimic
+//! each application class. Compressor behaviour (who wins, where the
+//! crossovers fall) is driven by exactly those properties, so the
+//! reproduction preserves the paper's comparative structure even though
+//! absolute compression ratios differ from the originals. The
+//! substitution is documented in `DESIGN.md` §3.
+//!
+//! * [`noise`] — deterministic multi-octave value noise (the workhorse),
+//! * [`fields`] — the six application-like field generators,
+//! * [`Dataset`] — an enum enumerating the six apps with paper-scaled
+//!   shapes at three size classes.
+
+pub mod fields;
+pub mod noise;
+
+pub use fields::{
+    cesm_like, hurricane_like, miranda_like, nyx_like, rtm_like, scale_letkf_like,
+    time_series_like,
+};
+
+use qoz_tensor::{NdArray, Shape};
+
+/// How large a generated field should be.
+///
+/// `Tiny` keeps unit/integration tests fast; `Small` is for quick local
+/// benchmarking; `Medium` approaches the paper's aspect ratios at
+/// laptop-friendly absolute sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SizeClass {
+    /// For tests (≈ 10^4–10^5 points).
+    Tiny,
+    /// For quick benchmarks (≈ 10^6 points).
+    Small,
+    /// For paper-shaped benchmark runs (≈ 10^7 points).
+    Medium,
+}
+
+/// The six applications of the paper's evaluation (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// CESM-ATM climate (2D atmospheric fields, 1800×3600 in the paper).
+    CesmAtm,
+    /// Miranda radiation-hydrodynamics turbulence (3D, 256×384×384).
+    Miranda,
+    /// Reverse-time-migration seismic wavefields (3D, 449×449×235).
+    Rtm,
+    /// NYX cosmological hydrodynamics (3D, 512³; huge dynamic range).
+    Nyx,
+    /// Hurricane Isabel weather (3D, 100×500×500; vortex structure).
+    Hurricane,
+    /// Scale-LETKF weather assimilation (3D, 98×1200×1200; fronts).
+    ScaleLetkf,
+}
+
+impl Dataset {
+    /// All six datasets in the paper's table order.
+    pub const ALL: [Dataset; 6] = [
+        Dataset::Rtm,
+        Dataset::Miranda,
+        Dataset::CesmAtm,
+        Dataset::ScaleLetkf,
+        Dataset::Nyx,
+        Dataset::Hurricane,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::CesmAtm => "CESM-ATM",
+            Dataset::Miranda => "Miranda",
+            Dataset::Rtm => "RTM",
+            Dataset::Nyx => "NYX",
+            Dataset::Hurricane => "Hurricane",
+            Dataset::ScaleLetkf => "SCALE-LETKF",
+        }
+    }
+
+    /// Generated shape for a size class (aspect ratios follow Table II).
+    pub fn shape(self, class: SizeClass) -> Shape {
+        use SizeClass::*;
+        match self {
+            Dataset::CesmAtm => match class {
+                Tiny => Shape::d2(64, 128),
+                Small => Shape::d2(256, 512),
+                Medium => Shape::d2(900, 1800),
+            },
+            Dataset::Miranda => match class {
+                Tiny => Shape::d3(24, 32, 32),
+                Small => Shape::d3(64, 96, 96),
+                Medium => Shape::d3(128, 192, 192),
+            },
+            Dataset::Rtm => match class {
+                Tiny => Shape::d3(32, 32, 24),
+                Small => Shape::d3(96, 96, 48),
+                Medium => Shape::d3(224, 224, 120),
+            },
+            Dataset::Nyx => match class {
+                Tiny => Shape::d3(32, 32, 32),
+                Small => Shape::d3(96, 96, 96),
+                Medium => Shape::d3(256, 256, 256),
+            },
+            Dataset::Hurricane => match class {
+                Tiny => Shape::d3(16, 48, 48),
+                Small => Shape::d3(32, 128, 128),
+                Medium => Shape::d3(100, 250, 250),
+            },
+            Dataset::ScaleLetkf => match class {
+                Tiny => Shape::d3(12, 48, 48),
+                Small => Shape::d3(24, 160, 160),
+                Medium => Shape::d3(49, 600, 600),
+            },
+        }
+    }
+
+    /// Generate field number `field` (different fields = different seeds
+    /// and slightly different parametrizations, like the multi-field
+    /// SDRBench archives).
+    pub fn generate(self, class: SizeClass, field: u64) -> NdArray<f32> {
+        let shape = self.shape(class);
+        let seed = 0x51C0_FFEE ^ (field.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        match self {
+            Dataset::CesmAtm => cesm_like(shape, seed),
+            Dataset::Miranda => miranda_like(shape, seed),
+            Dataset::Rtm => rtm_like(shape, seed),
+            Dataset::Nyx => nyx_like(shape, seed),
+            Dataset::Hurricane => hurricane_like(shape, seed),
+            Dataset::ScaleLetkf => scale_letkf_like(shape, seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_datasets_generate_finite_tiny_fields() {
+        for ds in Dataset::ALL {
+            let f = ds.generate(SizeClass::Tiny, 0);
+            assert_eq!(f.shape(), ds.shape(SizeClass::Tiny), "{}", ds.name());
+            assert!(
+                f.as_slice().iter().all(|v| v.is_finite()),
+                "{} produced non-finite values",
+                ds.name()
+            );
+            assert!(f.value_range() > 0.0, "{} is constant", ds.name());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for ds in [Dataset::CesmAtm, Dataset::Nyx] {
+            let a = ds.generate(SizeClass::Tiny, 3);
+            let b = ds.generate(SizeClass::Tiny, 3);
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn different_fields_differ() {
+        let a = Dataset::Miranda.generate(SizeClass::Tiny, 0);
+        let b = Dataset::Miranda.generate(SizeClass::Tiny, 1);
+        assert_ne!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn nyx_has_large_dynamic_range() {
+        // Cosmological density fields are lognormal-ish: range spans
+        // multiple orders of magnitude relative to the median.
+        let f = Dataset::Nyx.generate(SizeClass::Tiny, 0);
+        let (lo, hi) = f.finite_min_max().unwrap();
+        assert!(lo > 0.0, "density must be positive");
+        assert!(hi / lo > 50.0, "dynamic range too small: {lo}..{hi}");
+    }
+
+    #[test]
+    fn miranda_is_smooth() {
+        // Turbulent mixing fields are smooth: neighbour diffs are small
+        // relative to the global range.
+        let f = Dataset::Miranda.generate(SizeClass::Tiny, 0);
+        let s = f.as_slice();
+        let range = f.value_range();
+        // Only compare neighbours along the contiguous last dimension;
+        // flat windows would otherwise jump across row boundaries.
+        let line = f.shape().dim(2);
+        let mut max_step = 0.0f64;
+        for row in s.chunks(line) {
+            for w in row.windows(2) {
+                max_step = max_step.max((w[1] - w[0]).abs() as f64);
+            }
+        }
+        assert!(max_step < 0.35 * range, "max step {max_step}, range {range}");
+    }
+}

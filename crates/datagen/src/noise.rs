@@ -1,0 +1,206 @@
+//! Deterministic multi-octave value noise.
+//!
+//! A lattice of pseudo-random values (hashed from integer coordinates and
+//! a seed — nothing is stored) is interpolated with a smoothstep kernel;
+//! octaves at doubling frequencies and geometrically decaying amplitudes
+//! are summed to produce fractal fields with a controllable spectral
+//! slope. This gives O(octaves) work per point independent of array size,
+//! dimension-generic, and fully reproducible from the seed.
+
+use qoz_tensor::{NdArray, Shape, MAX_NDIM};
+
+/// SplitMix64: statistically solid 64-bit mixer for lattice hashing.
+#[inline(always)]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hash integer lattice coordinates to a uniform value in `[-1, 1)`.
+#[inline]
+fn lattice_value(seed: u64, cell: &[i64]) -> f64 {
+    let mut h = seed;
+    for &c in cell {
+        h = splitmix64(h ^ (c as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+    }
+    (splitmix64(h) >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
+/// Quintic smoothstep (C2-continuous), the Perlin fade curve.
+#[inline(always)]
+fn fade(t: f64) -> f64 {
+    t * t * t * (t * (t * 6.0 - 15.0) + 10.0)
+}
+
+/// Single-octave value noise at continuous position `pos` (in lattice
+/// units). Multilinear interpolation of hashed corner values with the
+/// fade curve applied per axis.
+pub fn value_noise(seed: u64, pos: &[f64]) -> f64 {
+    let nd = pos.len();
+    debug_assert!(nd <= MAX_NDIM);
+    let mut cell = [0i64; MAX_NDIM];
+    let mut frac = [0.0f64; MAX_NDIM];
+    for d in 0..nd {
+        let f = pos[d].floor();
+        cell[d] = f as i64;
+        frac[d] = fade(pos[d] - f);
+    }
+    // Interpolate over the 2^nd corners.
+    let mut acc = 0.0;
+    for corner in 0u32..(1 << nd) {
+        let mut c = [0i64; MAX_NDIM];
+        let mut w = 1.0;
+        for d in 0..nd {
+            if corner & (1 << d) != 0 {
+                c[d] = cell[d] + 1;
+                w *= frac[d];
+            } else {
+                c[d] = cell[d];
+                w *= 1.0 - frac[d];
+            }
+        }
+        acc += w * lattice_value(seed, &c[..nd]);
+    }
+    acc
+}
+
+/// Parameters for fractal Brownian motion (octave-summed value noise).
+#[derive(Debug, Clone)]
+pub struct FbmParams {
+    /// Number of octaves to sum.
+    pub octaves: u32,
+    /// Base lattice wavelength in grid points (largest feature size).
+    pub base_wavelength: f64,
+    /// Amplitude decay per octave; 0.5 ≈ k^-1 spectrum, smaller = smoother.
+    pub gain: f64,
+    /// Frequency multiplier per octave (almost always 2).
+    pub lacunarity: f64,
+}
+
+impl Default for FbmParams {
+    fn default() -> Self {
+        FbmParams {
+            octaves: 5,
+            base_wavelength: 48.0,
+            gain: 0.5,
+            lacunarity: 2.0,
+        }
+    }
+}
+
+/// Evaluate fBm noise at continuous grid coordinates.
+pub fn fbm(seed: u64, pos: &[f64], p: &FbmParams) -> f64 {
+    let mut total = 0.0;
+    let mut amp = 1.0;
+    let mut freq = 1.0 / p.base_wavelength;
+    let mut scaled = [0.0f64; MAX_NDIM];
+    for o in 0..p.octaves {
+        for d in 0..pos.len() {
+            scaled[d] = pos[d] * freq;
+        }
+        total += amp * value_noise(seed.wrapping_add(o as u64 * 0x632B_E59B), &scaled[..pos.len()]);
+        amp *= p.gain;
+        freq *= p.lacunarity;
+    }
+    total
+}
+
+/// Fill an array with fBm noise (values roughly in `[-2, 2]`).
+pub fn fbm_field(shape: Shape, seed: u64, p: &FbmParams) -> NdArray<f32> {
+    let nd = shape.ndim();
+    NdArray::from_fn(shape, |idx| {
+        let mut pos = [0.0f64; MAX_NDIM];
+        for d in 0..nd {
+            pos[d] = idx[d] as f64;
+        }
+        fbm(seed, &pos[..nd], p) as f32
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_avalanche() {
+        // Flipping one input bit changes roughly half the output bits.
+        let a = splitmix64(12345);
+        let b = splitmix64(12345 ^ 1);
+        let flipped = (a ^ b).count_ones();
+        assert!(flipped > 20 && flipped < 44, "flipped {flipped}");
+    }
+
+    #[test]
+    fn lattice_values_bounded() {
+        for i in -50i64..50 {
+            let v = lattice_value(7, &[i, i * 3, -i]);
+            assert!((-1.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn value_noise_matches_lattice_at_integers() {
+        // At integer positions the interpolation collapses to the lattice
+        // value itself.
+        for i in 0..20i64 {
+            let v = value_noise(99, &[i as f64, (i * 2) as f64]);
+            let l = lattice_value(99, &[i, i * 2]);
+            assert!((v - l).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn value_noise_continuous() {
+        // Small position change -> small value change.
+        let a = value_noise(5, &[3.5, 7.25]);
+        let b = value_noise(5, &[3.5001, 7.25]);
+        assert!((a - b).abs() < 0.01);
+    }
+
+    #[test]
+    fn fbm_deterministic() {
+        let p = FbmParams::default();
+        assert_eq!(fbm(1, &[10.3, 4.5], &p), fbm(1, &[10.3, 4.5], &p));
+        assert_ne!(fbm(1, &[10.3, 4.5], &p), fbm(2, &[10.3, 4.5], &p));
+    }
+
+    #[test]
+    fn fbm_field_shape_and_range() {
+        let f = fbm_field(Shape::d2(32, 48), 11, &FbmParams::default());
+        assert_eq!(f.shape().dims(), &[32, 48]);
+        let (lo, hi) = f.finite_min_max().unwrap();
+        assert!(lo >= -2.5 && hi <= 2.5, "range {lo}..{hi}");
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn smaller_gain_is_smoother() {
+        let rough = fbm_field(
+            Shape::d1(512),
+            3,
+            &FbmParams {
+                gain: 0.9,
+                ..Default::default()
+            },
+        );
+        let smooth = fbm_field(
+            Shape::d1(512),
+            3,
+            &FbmParams {
+                gain: 0.2,
+                ..Default::default()
+            },
+        );
+        let tv = |a: &NdArray<f32>| -> f64 {
+            let r = a.value_range();
+            a.as_slice()
+                .windows(2)
+                .map(|w| (w[1] - w[0]).abs() as f64)
+                .sum::<f64>()
+                / r.max(1e-12)
+        };
+        assert!(tv(&smooth) < tv(&rough));
+    }
+}

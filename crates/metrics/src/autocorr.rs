@@ -1,0 +1,125 @@
+//! Autocorrelation of compression errors (paper Eq. 4).
+//!
+//! Users prefer compression errors that behave like white noise; the
+//! lag-k autocorrelation of the (flattened, row-major) error sequence
+//! quantifies how far from white the error field is. QoZ's "AC preferred"
+//! tuning mode minimizes `|AC(lag=1)|`.
+
+use qoz_tensor::{NdArray, Scalar};
+
+/// Lag-`k` autocorrelation of a series:
+/// `AC = E[(e_i - mu)(e_{i+k} - mu)] / sigma^2`.
+///
+/// Returns 0.0 when the series is too short or has zero variance (a
+/// constant error field carries no correlation information).
+pub fn autocorrelation(series: &[f64], lag: usize) -> f64 {
+    if series.len() <= lag + 1 {
+        return 0.0;
+    }
+    let n = series.len();
+    let mu = series.iter().sum::<f64>() / n as f64;
+    let var = series.iter().map(|e| (e - mu) * (e - mu)).sum::<f64>() / n as f64;
+    if var <= 0.0 || !var.is_finite() {
+        return 0.0;
+    }
+    let cov = series[..n - lag]
+        .iter()
+        .zip(&series[lag..])
+        .map(|(a, b)| (a - mu) * (b - mu))
+        .sum::<f64>()
+        / (n - lag) as f64;
+    cov / var
+}
+
+/// Lag-`k` autocorrelation of the pointwise compression errors between
+/// `original` and `recon` (non-finite points contribute zero error).
+pub fn error_autocorrelation<T: Scalar>(
+    original: &NdArray<T>,
+    recon: &NdArray<T>,
+    lag: usize,
+) -> f64 {
+    assert_eq!(original.shape(), recon.shape(), "shape mismatch");
+    let errs: Vec<f64> = original
+        .as_slice()
+        .iter()
+        .zip(recon.as_slice())
+        .map(|(a, b)| {
+            let d = b.to_f64() - a.to_f64();
+            if d.is_finite() {
+                d
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    autocorrelation(&errs, lag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoz_tensor::Shape;
+
+    #[test]
+    fn constant_series_zero() {
+        assert_eq!(autocorrelation(&[3.0; 100], 1), 0.0);
+    }
+
+    #[test]
+    fn alternating_series_strongly_negative() {
+        let s: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let ac = autocorrelation(&s, 1);
+        assert!(ac < -0.99, "ac {ac}");
+    }
+
+    #[test]
+    fn slowly_varying_series_strongly_positive() {
+        let s: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.01).sin()).collect();
+        let ac = autocorrelation(&s, 1);
+        assert!(ac > 0.95, "ac {ac}");
+    }
+
+    #[test]
+    fn white_noise_near_zero() {
+        // xorshift-based pseudo-noise.
+        let mut x = 88172645463325252u64;
+        let s: Vec<f64> = (0..50_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x as f64 / u64::MAX as f64) - 0.5
+            })
+            .collect();
+        let ac = autocorrelation(&s, 1);
+        assert!(ac.abs() < 0.03, "ac {ac}");
+    }
+
+    #[test]
+    fn lag_two_of_period_two_is_positive() {
+        let s: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(autocorrelation(&s, 2) > 0.99);
+    }
+
+    #[test]
+    fn short_series_returns_zero() {
+        assert_eq!(autocorrelation(&[1.0, 2.0], 5), 0.0);
+    }
+
+    #[test]
+    fn error_ac_of_identical_arrays_is_zero() {
+        let a = NdArray::from_fn(Shape::d1(100), |i| i[0] as f64);
+        assert_eq!(error_autocorrelation(&a, &a.clone(), 1), 0.0);
+    }
+
+    #[test]
+    fn error_ac_detects_smooth_error_field() {
+        let a = NdArray::from_fn(Shape::d1(2000), |i| (i[0] as f64 * 0.1).sin());
+        let mut b = a.clone();
+        for (i, v) in b.as_mut_slice().iter_mut().enumerate() {
+            // Smooth (highly autocorrelated) error.
+            *v += 0.01 * (i as f64 * 0.01).cos();
+        }
+        assert!(error_autocorrelation(&a, &b, 1) > 0.9);
+    }
+}

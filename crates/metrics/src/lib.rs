@@ -1,0 +1,25 @@
+//! Compression quality metrics (QoZ paper §III).
+//!
+//! The QoZ framework optimizes rate-distortion against a *user-selected*
+//! quality metric. This crate implements every metric the paper evaluates:
+//!
+//! * [`error_stats`] — max error, MSE, NRMSE, PSNR (Eq. 1), bound checks,
+//!   error histograms (Fig. 7),
+//! * [`ssim`] — windowed Structural Similarity (Eq. 2–3, Fig. 9),
+//! * [`autocorr`] — lag-k autocorrelation of compression errors (Eq. 4,
+//!   Fig. 10),
+//! * [`quality`] — the [`quality::QualityMetric`] selector plumbed through
+//!   the QoZ tuner, with the "which result is better" ordering used by the
+//!   Table I comparison logic.
+
+pub mod autocorr;
+pub mod error_stats;
+pub mod quality;
+pub mod report;
+pub mod ssim;
+
+pub use autocorr::{autocorrelation, error_autocorrelation};
+pub use error_stats::{error_histogram, max_abs_error, mse, nrmse, psnr, verify_error_bound};
+pub use quality::{evaluate_metric, QualityMetric};
+pub use report::QualityReport;
+pub use ssim::ssim;

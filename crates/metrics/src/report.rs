@@ -1,0 +1,109 @@
+//! One-call quality assessment report (a Z-checker-style summary).
+//!
+//! Collects every metric the paper reports for a (original,
+//! reconstruction) pair into a single struct with a readable `Display`,
+//! used by the CLI's `eval` command and handy in tests.
+
+use crate::autocorr::error_autocorrelation;
+use crate::error_stats::{max_abs_error, mse, nrmse, psnr};
+use crate::ssim::ssim;
+use qoz_tensor::{NdArray, Scalar};
+
+/// Full quality summary for a reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityReport {
+    /// Number of data points.
+    pub points: usize,
+    /// Value range of the original data.
+    pub value_range: f64,
+    /// Maximum absolute pointwise error.
+    pub max_abs_error: f64,
+    /// Mean squared error.
+    pub mse: f64,
+    /// Normalized root mean squared error.
+    pub nrmse: f64,
+    /// Peak signal-to-noise ratio (dB).
+    pub psnr: f64,
+    /// Mean windowed SSIM.
+    pub ssim: f64,
+    /// Lag-1 autocorrelation of errors (signed).
+    pub ac_lag1: f64,
+    /// Lag-2 autocorrelation of errors (signed).
+    pub ac_lag2: f64,
+}
+
+impl QualityReport {
+    /// Compute the full report.
+    pub fn new<T: Scalar>(original: &NdArray<T>, recon: &NdArray<T>) -> Self {
+        QualityReport {
+            points: original.len(),
+            value_range: original.value_range(),
+            max_abs_error: max_abs_error(original, recon),
+            mse: mse(original, recon),
+            nrmse: nrmse(original, recon),
+            psnr: psnr(original, recon),
+            ssim: ssim(original, recon),
+            ac_lag1: error_autocorrelation(original, recon, 1),
+            ac_lag2: error_autocorrelation(original, recon, 2),
+        }
+    }
+
+    /// Check the report against an absolute error bound.
+    pub fn within_bound(&self, bound: f64) -> bool {
+        self.max_abs_error <= bound * (1.0 + 1e-9)
+    }
+}
+
+impl std::fmt::Display for QualityReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "points        : {}", self.points)?;
+        writeln!(f, "value range   : {:.6e}", self.value_range)?;
+        writeln!(f, "max |error|   : {:.6e}", self.max_abs_error)?;
+        writeln!(f, "MSE           : {:.6e}", self.mse)?;
+        writeln!(f, "NRMSE         : {:.6e}", self.nrmse)?;
+        writeln!(f, "PSNR          : {:.3} dB", self.psnr)?;
+        writeln!(f, "SSIM          : {:.6}", self.ssim)?;
+        writeln!(f, "AC (lag 1)    : {:+.6}", self.ac_lag1)?;
+        write!(f, "AC (lag 2)    : {:+.6}", self.ac_lag2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoz_tensor::Shape;
+
+    #[test]
+    fn report_consistent_with_individual_metrics() {
+        let a = NdArray::from_fn(Shape::d2(32, 32), |i| ((i[0] * 32 + i[1]) as f64 * 0.01).sin());
+        let mut b = a.clone();
+        for (k, v) in b.as_mut_slice().iter_mut().enumerate() {
+            *v += if k % 3 == 0 { 1e-4 } else { -1e-4 };
+        }
+        let r = QualityReport::new(&a, &b);
+        assert_eq!(r.points, 1024);
+        assert!((r.psnr - psnr(&a, &b)).abs() < 1e-12);
+        assert!((r.ssim - ssim(&a, &b)).abs() < 1e-12);
+        assert!(r.within_bound(1e-4));
+        assert!(!r.within_bound(1e-5));
+    }
+
+    #[test]
+    fn display_contains_all_rows() {
+        let a = NdArray::from_fn(Shape::d1(64), |i| i[0] as f32);
+        let r = QualityReport::new(&a, &a.clone());
+        let s = r.to_string();
+        for key in ["PSNR", "SSIM", "NRMSE", "AC (lag 1)", "max |error|"] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+
+    #[test]
+    fn lossless_report_is_perfect() {
+        let a = NdArray::from_fn(Shape::d1(128), |i| (i[0] as f64).sqrt());
+        let r = QualityReport::new(&a, &a.clone());
+        assert_eq!(r.max_abs_error, 0.0);
+        assert_eq!(r.psnr, f64::INFINITY);
+        assert!((r.ssim - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,162 @@
+//! Structural Similarity Index (SSIM) for scientific data (paper Eq. 2–3).
+//!
+//! SSIM is computed per local window and averaged (Wang et al. 2004). For
+//! floating-point scientific data the stabilizing constants use the
+//! *original data's* value range: `c1 = (0.01 R)^2`, `c2 = (0.03 R)^2`.
+//! Windows are dense boxes of side [`WINDOW`] (clipped at boundaries)
+//! tiled without overlap — the blockwise variant commonly used for large
+//! scientific snapshots, which keeps the metric O(n).
+
+use qoz_tensor::{NdArray, Region, Scalar};
+
+/// Window side length per dimension.
+pub const WINDOW: usize = 8;
+
+/// Mean SSIM between `original` and `recon`.
+///
+/// Returns 1.0 for identical arrays. Constant data with a perfect
+/// reconstruction is 1.0; constant data with any distortion degrades via
+/// the variance terms.
+pub fn ssim<T: Scalar>(original: &NdArray<T>, recon: &NdArray<T>) -> f64 {
+    assert_eq!(original.shape(), recon.shape(), "shape mismatch");
+    let range = original.value_range();
+    // Degenerate range: fall back to a tiny epsilon so constants stay
+    // positive and identical windows still score 1.
+    let r = if range > 0.0 { range } else { 1e-12 };
+    let c1 = (0.01 * r) * (0.01 * r);
+    let c2 = (0.03 * r) * (0.03 * r);
+
+    let windows = Region::tile(original.shape(), WINDOW);
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for w in &windows {
+        let x = original.extract_region(w);
+        let y = recon.extract_region(w);
+        total += window_ssim(x.as_slice(), y.as_slice(), c1, c2);
+        count += 1;
+    }
+    if count == 0 {
+        1.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// SSIM of one window (Eq. 3).
+fn window_ssim<T: Scalar>(x: &[T], y: &[T], c1: f64, c2: f64) -> f64 {
+    let n = x.len() as f64;
+    let mut mx = 0.0;
+    let mut my = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        mx += a.to_f64();
+        my += b.to_f64();
+    }
+    mx /= n;
+    my /= n;
+
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    let mut cov = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        let dx = a.to_f64() - mx;
+        let dy = b.to_f64() - my;
+        vx += dx * dx;
+        vy += dy * dy;
+        cov += dx * dy;
+    }
+    // Sample statistics with n-1 normalization (n >= 1 windows possible at
+    // corners; guard the divide).
+    let denom_n = if n > 1.0 { n - 1.0 } else { 1.0 };
+    vx /= denom_n;
+    vy /= denom_n;
+    cov /= denom_n;
+
+    ((2.0 * mx * my + c1) * (2.0 * cov + c2)) / ((mx * mx + my * my + c1) * (vx + vy + c2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoz_tensor::Shape;
+
+    fn field_2d() -> NdArray<f64> {
+        NdArray::from_fn(Shape::d2(64, 64), |i| {
+            ((i[0] as f64) * 0.2).sin() + ((i[1] as f64) * 0.13).cos()
+        })
+    }
+
+    #[test]
+    fn identical_arrays_score_one() {
+        let a = field_2d();
+        assert!((ssim(&a, &a.clone()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ssim_decreases_with_noise() {
+        let a = field_2d();
+        let mut small = a.clone();
+        let mut big = a.clone();
+        for (i, (s, b)) in small
+            .as_mut_slice()
+            .iter_mut()
+            .zip(big.as_mut_slice())
+            .enumerate()
+        {
+            let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            *s += sign * 0.001;
+            *b += sign * 0.2;
+        }
+        let s_small = ssim(&a, &small);
+        let s_big = ssim(&a, &big);
+        assert!(s_small > s_big, "{s_small} vs {s_big}");
+        assert!(s_small > 0.99);
+        assert!(s_big < 0.9);
+    }
+
+    #[test]
+    fn ssim_bounded_above_by_one() {
+        let a = field_2d();
+        let mut b = a.clone();
+        for v in b.as_mut_slice() {
+            *v *= 1.001;
+        }
+        let s = ssim(&a, &b);
+        assert!(s <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn structural_break_penalized_more_than_offset() {
+        // SSIM is sensitive to structure: shuffling a window hurts more
+        // than adding the same-magnitude smooth offset.
+        let a = field_2d();
+        let mut offset = a.clone();
+        let amp = 0.05;
+        for v in offset.as_mut_slice() {
+            *v += amp;
+        }
+        let mut shuffled = a.clone();
+        // Reverse each row chunk of 8 to destroy local correlation while
+        // keeping values (and thus magnitude of change) comparable.
+        let n = shuffled.len();
+        let s = shuffled.as_mut_slice();
+        for c in (0..n).step_by(8) {
+            let end = (c + 8).min(n);
+            s[c..end].reverse();
+        }
+        assert!(ssim(&a, &offset) > ssim(&a, &shuffled));
+    }
+
+    #[test]
+    fn works_in_3d() {
+        let a = NdArray::from_fn(Shape::d3(16, 16, 16), |i| {
+            (i[0] + 2 * i[1] + 3 * i[2]) as f64 * 0.01
+        });
+        assert!((ssim(&a, &a.clone()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_data_identical_is_one() {
+        let a = NdArray::from_vec(Shape::d2(8, 8), vec![5.0f32; 64]);
+        assert!((ssim(&a, &a.clone()) - 1.0).abs() < 1e-9);
+    }
+}

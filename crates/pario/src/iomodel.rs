@@ -1,0 +1,180 @@
+//! Analytic parallel dump/load performance model (Fig. 14 substrate).
+//!
+//! The model captures the regime the paper's Bebop experiment exposes:
+//! every rank holds a fixed amount of data; aggregate I/O bandwidth grows
+//! linearly with rank count until the parallel filesystem's backbone
+//! saturates; compression trades per-rank compute time for a CR-fold
+//! reduction in bytes on the wire. Past the saturation point, the codec
+//! with the best compression ratio wins end-to-end — which is how QoZ
+//! tops Fig. 14 despite not having the fastest kernels.
+
+/// Cluster and codec parameters for one modeled configuration.
+#[derive(Debug, Clone)]
+pub struct IoModel {
+    /// Number of ranks (cores) participating.
+    pub ranks: usize,
+    /// Raw bytes held by each rank (paper: 1.3 GB).
+    pub bytes_per_rank: f64,
+    /// Per-rank I/O bandwidth toward the filesystem, bytes/s.
+    pub rank_bandwidth: f64,
+    /// Filesystem backbone bandwidth cap, bytes/s.
+    pub fs_bandwidth: f64,
+}
+
+impl Default for IoModel {
+    fn default() -> Self {
+        // Bebop-like: 1.3 GB/rank, ~500 MB/s per-rank link share,
+        // ~80 GB/s aggregate parallel filesystem.
+        IoModel {
+            ranks: 1024,
+            bytes_per_rank: 1.3e9,
+            rank_bandwidth: 500.0e6,
+            fs_bandwidth: 80.0e9,
+        }
+    }
+}
+
+/// End-to-end timing for one codec under the model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoTiming {
+    /// Seconds to compress (0 for raw I/O).
+    pub compress_s: f64,
+    /// Seconds on the wire writing.
+    pub write_s: f64,
+    /// Seconds on the wire reading.
+    pub read_s: f64,
+    /// Seconds to decompress (0 for raw I/O).
+    pub decompress_s: f64,
+}
+
+impl IoTiming {
+    /// Total dump (write-path) time.
+    pub fn dump_s(&self) -> f64 {
+        self.compress_s + self.write_s
+    }
+    /// Total load (read-path) time.
+    pub fn load_s(&self) -> f64 {
+        self.read_s + self.decompress_s
+    }
+}
+
+impl IoModel {
+    /// Effective aggregate bandwidth: linear in ranks until the backbone
+    /// saturates.
+    pub fn aggregate_bandwidth(&self) -> f64 {
+        (self.ranks as f64 * self.rank_bandwidth).min(self.fs_bandwidth)
+    }
+
+    /// Total raw bytes across ranks.
+    pub fn total_bytes(&self) -> f64 {
+        self.ranks as f64 * self.bytes_per_rank
+    }
+
+    /// Timing without compression.
+    pub fn raw(&self) -> IoTiming {
+        let t = self.total_bytes() / self.aggregate_bandwidth();
+        IoTiming {
+            compress_s: 0.0,
+            write_s: t,
+            read_s: t,
+            decompress_s: 0.0,
+        }
+    }
+
+    /// Timing with a codec of the given compression ratio and per-rank
+    /// kernel throughputs (bytes/s). Ranks compress concurrently, so
+    /// kernel time is data-per-rank over per-rank throughput.
+    pub fn with_codec(&self, cr: f64, compress_bps: f64, decompress_bps: f64) -> IoTiming {
+        assert!(cr > 0.0 && compress_bps > 0.0 && decompress_bps > 0.0);
+        let wire = self.total_bytes() / cr / self.aggregate_bandwidth();
+        IoTiming {
+            compress_s: self.bytes_per_rank / compress_bps,
+            write_s: wire,
+            read_s: wire,
+            decompress_s: self.bytes_per_rank / decompress_bps,
+        }
+    }
+
+    /// Rank count past which raw I/O saturates the backbone.
+    pub fn saturation_ranks(&self) -> usize {
+        (self.fs_bandwidth / self.rank_bandwidth).ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_saturates() {
+        let m = IoModel {
+            ranks: 1_000_000,
+            ..Default::default()
+        };
+        assert_eq!(m.aggregate_bandwidth(), m.fs_bandwidth);
+        let small = IoModel {
+            ranks: 10,
+            ..Default::default()
+        };
+        assert_eq!(small.aggregate_bandwidth(), 10.0 * small.rank_bandwidth);
+    }
+
+    #[test]
+    fn raw_dump_time_grows_linearly_after_saturation() {
+        let mk = |ranks| IoModel {
+            ranks,
+            ..Default::default()
+        };
+        let sat = mk(1024).saturation_ranks();
+        let t1 = mk(sat * 2).raw().dump_s();
+        let t2 = mk(sat * 4).raw().dump_s();
+        assert!((t2 / t1 - 2.0).abs() < 1e-9, "{t1} {t2}");
+    }
+
+    #[test]
+    fn compression_wins_at_scale() {
+        // Past saturation, a CR=20 codec at 120 MB/s beats raw I/O.
+        let m = IoModel {
+            ranks: 8192,
+            ..Default::default()
+        };
+        let raw = m.raw().dump_s();
+        let qoz = m.with_codec(20.0, 120.0e6, 350.0e6).dump_s();
+        assert!(qoz < raw, "compressed {qoz}s vs raw {raw}s");
+    }
+
+    #[test]
+    fn higher_cr_wins_when_wire_bound() {
+        let m = IoModel {
+            ranks: 8192,
+            ..Default::default()
+        };
+        // Same kernel speed, different CR: higher CR must dump faster.
+        let lo = m.with_codec(10.0, 120.0e6, 300.0e6).dump_s();
+        let hi = m.with_codec(20.0, 120.0e6, 300.0e6).dump_s();
+        assert!(hi < lo);
+    }
+
+    #[test]
+    fn fast_codec_wins_when_compute_bound() {
+        // At small scale (no saturation), wire time is negligible and the
+        // faster kernel wins even at lower CR.
+        let m = IoModel {
+            ranks: 8,
+            bytes_per_rank: 1.3e9,
+            rank_bandwidth: 10.0e9,
+            fs_bandwidth: 800.0e9,
+        };
+        let fast_low_cr = m.with_codec(8.0, 600.0e6, 900.0e6).dump_s();
+        let slow_high_cr = m.with_codec(25.0, 120.0e6, 300.0e6).dump_s();
+        assert!(fast_low_cr < slow_high_cr);
+    }
+
+    #[test]
+    fn timing_components_sum() {
+        let m = IoModel::default();
+        let t = m.with_codec(15.0, 100.0e6, 200.0e6);
+        assert!((t.dump_s() - (t.compress_s + t.write_s)).abs() < 1e-12);
+        assert!((t.load_s() - (t.read_s + t.decompress_s)).abs() < 1e-12);
+    }
+}

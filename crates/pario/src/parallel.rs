@@ -1,0 +1,202 @@
+//! Thread-parallel per-rank compression.
+//!
+//! Chunks are distributed over a bounded worker pool with an atomic work
+//! queue (crossbeam scoped threads — no `'static` bound needed, no data
+//! races by construction). Each chunk is an independent compression task,
+//! mirroring per-MPI-rank compression in the paper's parallel runs.
+
+use qoz_codec::stream::{Compressor, ErrorBound};
+use qoz_codec::Result;
+use qoz_tensor::{NdArray, Region, Scalar, Shape};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Split an array into `n` near-equal chunks along dimension 0 (the
+/// usual HPC domain decomposition). Returns fewer chunks when dim 0 is
+/// shorter than `n`.
+pub fn chunk_along_dim0<T: Scalar>(data: &NdArray<T>, n: usize) -> Vec<NdArray<T>> {
+    assert!(n > 0);
+    let shape = data.shape();
+    let d0 = shape.dim(0);
+    let n = n.min(d0);
+    let mut out = Vec::with_capacity(n);
+    let base = d0 / n;
+    let extra = d0 % n;
+    let mut start = 0usize;
+    for k in 0..n {
+        let len = base + usize::from(k < extra);
+        let mut origin = vec![0usize; shape.ndim()];
+        let mut size = shape.dims().to_vec();
+        origin[0] = start;
+        size[0] = len;
+        out.push(data.extract_region(&Region::new(&origin, &size)));
+        start += len;
+    }
+    out
+}
+
+/// Compress every chunk with `threads` workers; returns blobs in chunk
+/// order.
+pub fn compress_chunks<T, C>(
+    compressor: &C,
+    chunks: &[NdArray<T>],
+    bound: ErrorBound,
+    threads: usize,
+) -> Vec<Vec<u8>>
+where
+    T: Scalar,
+    C: Compressor<T> + Sync,
+{
+    let threads = threads.max(1).min(chunks.len().max(1));
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<Vec<u8>>>> =
+        (0..chunks.len()).map(|_| Mutex::new(None)).collect();
+
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= chunks.len() {
+                    break;
+                }
+                let blob = compressor.compress(&chunks[i], bound);
+                *results[i].lock() = Some(blob);
+            });
+        }
+    })
+    .expect("compression worker panicked");
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("missing chunk result"))
+        .collect()
+}
+
+/// Decompress every blob with `threads` workers; returns arrays in blob
+/// order, or the first error encountered.
+pub fn decompress_chunks<T, C>(
+    compressor: &C,
+    blobs: &[Vec<u8>],
+    threads: usize,
+) -> Result<Vec<NdArray<T>>>
+where
+    T: Scalar,
+    C: Compressor<T> + Sync,
+{
+    let threads = threads.max(1).min(blobs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<Result<NdArray<T>>>>> =
+        (0..blobs.len()).map(|_| Mutex::new(None)).collect();
+
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= blobs.len() {
+                    break;
+                }
+                let out = compressor.decompress(&blobs[i]);
+                *results[i].lock() = Some(out);
+            });
+        }
+    })
+    .expect("decompression worker panicked");
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("missing chunk result"))
+        .collect()
+}
+
+/// Reassemble chunks produced by [`chunk_along_dim0`].
+pub fn reassemble_dim0<T: Scalar>(chunks: &[NdArray<T>]) -> NdArray<T> {
+    assert!(!chunks.is_empty());
+    let first = chunks[0].shape();
+    let nd = first.ndim();
+    let total0: usize = chunks.iter().map(|c| c.shape().dim(0)).sum();
+    let mut dims = first.dims().to_vec();
+    dims[0] = total0;
+    let shape = Shape::new(&dims);
+    let mut out = NdArray::<T>::zeros(shape);
+    let mut start = 0usize;
+    for c in chunks {
+        let mut origin = vec![0usize; nd];
+        origin[0] = start;
+        out.insert_region(&Region::new(&origin, c.shape().dims()), c);
+        start += c.shape().dim(0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoz_tensor::Shape;
+
+    fn data() -> NdArray<f32> {
+        NdArray::from_fn(Shape::d3(25, 16, 16), |i| {
+            (i[0] as f32 * 0.31).sin() + (i[1] as f32 - i[2] as f32) * 0.01
+        })
+    }
+
+    #[test]
+    fn chunking_covers_all_rows() {
+        let d = data();
+        let chunks = chunk_along_dim0(&d, 4);
+        assert_eq!(chunks.len(), 4);
+        let rows: Vec<usize> = chunks.iter().map(|c| c.shape().dim(0)).collect();
+        assert_eq!(rows.iter().sum::<usize>(), 25);
+        // Near-equal split: 7,6,6,6.
+        assert_eq!(rows, vec![7, 6, 6, 6]);
+        let back = reassemble_dim0(&chunks);
+        assert_eq!(back.as_slice(), d.as_slice());
+    }
+
+    #[test]
+    fn more_chunks_than_rows_clamped() {
+        let d = NdArray::from_fn(Shape::d2(3, 8), |i| i[1] as f64);
+        assert_eq!(chunk_along_dim0(&d, 10).len(), 3);
+    }
+
+    #[test]
+    fn parallel_roundtrip_matches_serial() {
+        let d = data();
+        let chunks = chunk_along_dim0(&d, 6);
+        let bound = ErrorBound::Abs(1e-3);
+        let c = qoz_sz3::Sz3::default();
+
+        let par = compress_chunks(&c, &chunks, bound, 4);
+        // Serial reference.
+        let ser: Vec<Vec<u8>> = chunks.iter().map(|ch| c.compress_typed(ch, bound)).collect();
+        assert_eq!(par, ser, "parallel compression must be deterministic");
+
+        let recon = decompress_chunks::<f32, _>(&c, &par, 4).unwrap();
+        let full = reassemble_dim0(&recon);
+        assert!(d.max_abs_diff(&full) <= 1e-3);
+    }
+
+    #[test]
+    fn qoz_parallel_roundtrip() {
+        let d = data();
+        let chunks = chunk_along_dim0(&d, 3);
+        let bound = ErrorBound::Rel(1e-3);
+        let q = qoz_core::Qoz::default();
+        let blobs = compress_chunks(&q, &chunks, bound, 3);
+        let recon = decompress_chunks::<f32, _>(&q, &blobs, 3).unwrap();
+        for (a, b) in chunks.iter().zip(&recon) {
+            let abs = bound.absolute(a);
+            assert!(a.max_abs_diff(b) <= abs);
+        }
+    }
+
+    #[test]
+    fn corrupt_blob_fails_cleanly() {
+        let d = data();
+        let chunks = chunk_along_dim0(&d, 2);
+        let c = qoz_sz3::Sz3::default();
+        let mut blobs = compress_chunks(&c, &chunks, ErrorBound::Abs(1e-3), 2);
+        blobs[1].truncate(10);
+        assert!(decompress_chunks::<f32, _>(&c, &blobs, 2).is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! 1D interpolation kernels and per-level configuration.
+//!
+//! Multi-dimensional spline interpolation decomposes into 1D passes along
+//! each dimension (paper §V-A). A point at an odd multiple of the level
+//! stride `s` is predicted from its even-multiple neighbours at `±s` and
+//! `±3s`, all of which were reconstructed on earlier levels or earlier
+//! passes of the current level.
+
+/// Interpolation kernel type.
+///
+/// The paper ships linear and cubic spline kernels and names richer
+/// kernels as future work (§VIII); [`InterpKind::Quadratic`] — the
+/// asymmetric three-point parabola later adopted by QoZ 1.1 — is
+/// implemented here as that extension and participates in the level
+/// selector alongside the original two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum InterpKind {
+    /// Two-point average: `(v[-s] + v[+s]) / 2`.
+    Linear,
+    /// Four-point cubic spline: `(-v[-3s] + 9 v[-s] + 9 v[+s] - v[+3s]) / 16`.
+    #[default]
+    Cubic,
+    /// Asymmetric three-point parabola through `{-3s, -s, +s}`:
+    /// `(-v[-3s] + 6 v[-s] + 3 v[+s]) / 8`.
+    Quadratic,
+}
+
+impl InterpKind {
+    /// All kernel candidates considered by the QoZ level selector.
+    pub const ALL: [InterpKind; 3] =
+        [InterpKind::Linear, InterpKind::Cubic, InterpKind::Quadratic];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            InterpKind::Linear => "linear",
+            InterpKind::Cubic => "cubic",
+            InterpKind::Quadratic => "quadratic",
+        }
+    }
+}
+
+/// Order in which dimensions are processed within one level.
+///
+/// The paper notes that of the `d!` permutations, testing the increasing
+/// and decreasing orders "cover the best choices in almost all cases";
+/// QoZ (like SZ3) therefore considers exactly these two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DimOrder {
+    /// dim 0, dim 1, ..., dim d-1 (e.g. `012` for 3D).
+    #[default]
+    Ascending,
+    /// dim d-1, ..., dim 1, dim 0 (e.g. `210` for 3D).
+    Descending,
+}
+
+impl DimOrder {
+    /// Both order candidates.
+    pub const ALL: [DimOrder; 2] = [DimOrder::Ascending, DimOrder::Descending];
+
+    /// The dimension sequence for an array of rank `ndim`.
+    pub fn dims(self, ndim: usize) -> Vec<usize> {
+        match self {
+            DimOrder::Ascending => (0..ndim).collect(),
+            DimOrder::Descending => (0..ndim).rev().collect(),
+        }
+    }
+
+    /// Short display name (for a given rank), e.g. `"012"`.
+    pub fn name(self, ndim: usize) -> String {
+        self.dims(ndim)
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<String>()
+    }
+}
+
+/// The per-level predictor configuration QoZ tunes: which kernel and which
+/// dimension order to use on a given interpolation level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LevelConfig {
+    /// Interpolation kernel.
+    pub kind: InterpKind,
+    /// Dimension processing order.
+    pub order: DimOrder,
+}
+
+impl LevelConfig {
+    /// The candidates the QoZ selector evaluates per level
+    /// (3 kernels × 2 dimension orders).
+    pub fn candidates() -> Vec<LevelConfig> {
+        let mut out = Vec::with_capacity(InterpKind::ALL.len() * DimOrder::ALL.len());
+        for kind in InterpKind::ALL {
+            for order in DimOrder::ALL {
+                out.push(LevelConfig { kind, order });
+            }
+        }
+        out
+    }
+}
+
+/// Predict the value at 1D line position `x` (an odd multiple of `s`)
+/// from known neighbours read through `get(pos)`; `n` is the line length.
+///
+/// `get` must return the *reconstructed* value at an even multiple of `s`
+/// (or a position refined earlier in the current level). Boundary
+/// handling degrades gracefully: cubic → linear → nearest-known.
+#[inline]
+pub fn predict_line(
+    kind: InterpKind,
+    x: usize,
+    s: usize,
+    n: usize,
+    get: impl Fn(usize) -> f64,
+) -> f64 {
+    let has_left = x >= s;
+    let has_right = x + s < n;
+    match (has_left, has_right) {
+        (true, true) => {
+            let has_left2 = x >= 3 * s;
+            match kind {
+                InterpKind::Cubic if has_left2 && x + 3 * s < n => {
+                    return (-get(x - 3 * s) + 9.0 * get(x - s) + 9.0 * get(x + s)
+                        - get(x + 3 * s))
+                        / 16.0;
+                }
+                InterpKind::Quadratic if has_left2 => {
+                    return (-get(x - 3 * s) + 6.0 * get(x - s) + 3.0 * get(x + s)) / 8.0;
+                }
+                _ => {}
+            }
+            (get(x - s) + get(x + s)) * 0.5
+        }
+        (true, false) => get(x - s),
+        (false, true) => get(x + s),
+        // A point with no known neighbour on its line can only occur for
+        // degenerate single-point lines; predict zero.
+        (false, false) => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_midpoint_exact_for_affine() {
+        // v(x) = 2x + 1 is reproduced exactly by linear interpolation.
+        let v = |p: usize| 2.0 * p as f64 + 1.0;
+        let pred = predict_line(InterpKind::Linear, 5, 5, 11, v);
+        assert_eq!(pred, v(5));
+    }
+
+    #[test]
+    fn cubic_exact_for_cubic_polynomial() {
+        // Cubic spline (-1,9,9,-1)/16 reproduces cubics exactly at the
+        // midpoint of a uniform grid.
+        let f = |p: f64| 0.5 * p * p * p - 2.0 * p * p + 3.0 * p - 1.0;
+        let v = move |p: usize| f(p as f64);
+        let pred = predict_line(InterpKind::Cubic, 3, 1, 7, v);
+        assert!((pred - f(3.0)).abs() < 1e-12, "pred {pred} expect {}", f(3.0));
+    }
+
+    #[test]
+    fn cubic_falls_back_to_linear_near_boundary() {
+        // x=1, s=1, n=4: x-3s out of range -> linear fallback.
+        let v = |p: usize| p as f64 * p as f64;
+        let pred = predict_line(InterpKind::Cubic, 1, 1, 4, v);
+        assert_eq!(pred, (v(0) + v(2)) / 2.0);
+    }
+
+    #[test]
+    fn right_edge_copies_left_neighbor() {
+        let v = |p: usize| p as f64;
+        // x=6, s=2, n=7: x+s = 8 >= 7 -> copy left.
+        let pred = predict_line(InterpKind::Linear, 6, 2, 7, v);
+        assert_eq!(pred, 4.0);
+    }
+
+    #[test]
+    fn left_edge_copies_right_neighbor() {
+        let v = |p: usize| p as f64 + 10.0;
+        // Hypothetical x < s case.
+        let pred = predict_line(InterpKind::Cubic, 1, 2, 8, v);
+        assert_eq!(pred, 13.0);
+    }
+
+    #[test]
+    fn dim_order_sequences() {
+        assert_eq!(DimOrder::Ascending.dims(3), vec![0, 1, 2]);
+        assert_eq!(DimOrder::Descending.dims(3), vec![2, 1, 0]);
+        assert_eq!(DimOrder::Ascending.name(3), "012");
+        assert_eq!(DimOrder::Descending.name(2), "10");
+    }
+
+    #[test]
+    fn six_distinct_candidates() {
+        let c = LevelConfig::candidates();
+        assert_eq!(c.len(), 6);
+        for i in 0..c.len() {
+            for j in i + 1..c.len() {
+                assert_ne!(c[i], c[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn quadratic_exact_for_parabola() {
+        let f = |p: f64| 2.0 * p * p - 3.0 * p + 1.0;
+        let v = move |p: usize| f(p as f64);
+        // x=3, s=1, n=5: uses {0, 2, 4}.
+        let pred = predict_line(InterpKind::Quadratic, 3, 1, 5, v);
+        assert!((pred - f(3.0)).abs() < 1e-12, "pred {pred} expect {}", f(3.0));
+    }
+
+    #[test]
+    fn quadratic_needs_no_far_right_neighbor() {
+        // Near the right edge, cubic degrades to linear but quadratic
+        // still applies (it is one-sided on the left).
+        let f = |p: f64| p * p;
+        let v = move |p: usize| f(p as f64);
+        // x=5, s=1, n=7: x+3s = 8 out of range.
+        let quad = predict_line(InterpKind::Quadratic, 5, 1, 7, v);
+        let cubic = predict_line(InterpKind::Cubic, 5, 1, 7, v);
+        assert!((quad - f(5.0)).abs() < 1e-12);
+        assert_eq!(cubic, (f(4.0) + f(6.0)) / 2.0); // linear fallback
+    }
+
+    #[test]
+    fn quadratic_falls_back_to_linear_at_left_edge() {
+        let v = |p: usize| p as f64;
+        let pred = predict_line(InterpKind::Quadratic, 1, 1, 8, v);
+        assert_eq!(pred, 1.0);
+    }
+}

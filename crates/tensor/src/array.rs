@@ -1,0 +1,248 @@
+//! Owned dense row-major arrays.
+
+use crate::region::Region;
+use crate::scalar::Scalar;
+use crate::shape::Shape;
+
+/// An owned, dense, row-major N-dimensional array.
+///
+/// This is the unit of compression throughout the workspace: compressors
+/// take an `&NdArray<T>` and produce one on decompression. The element type
+/// is any [`Scalar`] (`f32` or `f64`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct NdArray<T: Scalar> {
+    shape: Shape,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> NdArray<T> {
+    /// Create a zero-filled array.
+    pub fn zeros(shape: Shape) -> Self {
+        NdArray {
+            shape,
+            data: vec![T::zero(); shape.len()],
+        }
+    }
+
+    /// Wrap an existing buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != shape.len()`.
+    pub fn from_vec(shape: Shape, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "buffer length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        NdArray { shape, data }
+    }
+
+    /// Build an array by evaluating `f` at every multi-index.
+    pub fn from_fn(shape: Shape, mut f: impl FnMut(&[usize]) -> T) -> Self {
+        let mut data = Vec::with_capacity(shape.len());
+        for idx in shape.indices() {
+            data.push(f(&idx[..shape.ndim()]));
+        }
+        NdArray { shape, data }
+    }
+
+    /// The array's shape.
+    #[inline(always)]
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Total number of elements.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the array holds no elements (never, by construction).
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat read-only view of the underlying buffer.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Flat mutable view of the underlying buffer.
+    #[inline(always)]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume the array, returning the underlying buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    #[inline(always)]
+    pub fn get(&self, idx: &[usize]) -> T {
+        self.data[self.shape.offset(idx)]
+    }
+
+    /// Overwrite the element at a multi-index.
+    #[inline(always)]
+    pub fn set(&mut self, idx: &[usize], v: T) {
+        let off = self.shape.offset(idx);
+        self.data[off] = v;
+    }
+
+    /// Minimum and maximum over all finite elements.
+    ///
+    /// Returns `None` when the array contains no finite values.
+    pub fn finite_min_max(&self) -> Option<(T, T)> {
+        let mut it = self.data.iter().copied().filter(|v| v.is_finite());
+        let first = it.next()?;
+        let mut min = first;
+        let mut max = first;
+        for v in it {
+            if v < min {
+                min = v;
+            }
+            if v > max {
+                max = v;
+            }
+        }
+        Some((min, max))
+    }
+
+    /// `max - min` over finite elements as `f64`; 0.0 for constant or
+    /// all-non-finite arrays.
+    pub fn value_range(&self) -> f64 {
+        match self.finite_min_max() {
+            Some((lo, hi)) => hi.to_f64() - lo.to_f64(),
+            None => 0.0,
+        }
+    }
+
+    /// Copy the elements inside `region` into a fresh, dense array whose
+    /// shape equals the region's size.
+    pub fn extract_region(&self, region: &Region) -> NdArray<T> {
+        region.validate(self.shape);
+        let sub_shape = Shape::new(region.size());
+        let mut out = Vec::with_capacity(sub_shape.len());
+        for idx in sub_shape.indices() {
+            let mut src = [0usize; crate::MAX_NDIM];
+            for d in 0..self.shape.ndim() {
+                src[d] = region.origin()[d] + idx[d];
+            }
+            out.push(self.data[self.shape.offset(&src[..self.shape.ndim()])]);
+        }
+        NdArray::from_vec(sub_shape, out)
+    }
+
+    /// Write a dense block back into `region` (inverse of
+    /// [`NdArray::extract_region`]).
+    pub fn insert_region(&mut self, region: &Region, block: &NdArray<T>) {
+        region.validate(self.shape);
+        assert_eq!(
+            block.shape().dims(),
+            region.size(),
+            "block shape does not match region size"
+        );
+        for (i, idx) in block.shape().indices().enumerate() {
+            let mut dst = [0usize; crate::MAX_NDIM];
+            for d in 0..self.shape.ndim() {
+                dst[d] = region.origin()[d] + idx[d];
+            }
+            let off = self.shape.offset(&dst[..self.shape.ndim()]);
+            self.data[off] = block.data[i];
+        }
+    }
+
+    /// Maximum absolute pointwise difference against another array of the
+    /// same shape, in `f64`.
+    pub fn max_abs_diff(&self, other: &NdArray<T>) -> f64 {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a.to_f64() - b.to_f64()).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_array(shape: Shape) -> NdArray<f64> {
+        let mut k = 0.0;
+        NdArray::from_fn(shape, |_| {
+            k += 1.0;
+            k
+        })
+    }
+
+    #[test]
+    fn zeros_has_right_len() {
+        let a = NdArray::<f32>::zeros(Shape::d3(2, 3, 4));
+        assert_eq!(a.len(), 24);
+        assert!(a.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut a = NdArray::<f64>::zeros(Shape::d2(3, 4));
+        a.set(&[1, 2], 7.5);
+        assert_eq!(a.get(&[1, 2]), 7.5);
+        assert_eq!(a.as_slice()[4 + 2], 7.5);
+    }
+
+    #[test]
+    fn from_fn_row_major() {
+        let a = NdArray::from_fn(Shape::d2(2, 2), |idx| (idx[0] * 10 + idx[1]) as f32);
+        assert_eq!(a.as_slice(), &[0.0, 1.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn min_max_skips_non_finite() {
+        let a = NdArray::from_vec(Shape::d1(4), vec![f32::NAN, -2.0, 5.0, f32::INFINITY]);
+        assert_eq!(a.finite_min_max(), Some((-2.0, 5.0)));
+        assert_eq!(a.value_range(), 7.0);
+    }
+
+    #[test]
+    fn value_range_constant_is_zero() {
+        let a = NdArray::from_vec(Shape::d1(3), vec![4.0f64; 3]);
+        assert_eq!(a.value_range(), 0.0);
+    }
+
+    #[test]
+    fn extract_insert_region_roundtrip() {
+        let a = seq_array(Shape::d2(4, 5));
+        let r = Region::new(&[1, 2], &[2, 3]);
+        let block = a.extract_region(&r);
+        assert_eq!(block.shape().dims(), &[2, 3]);
+        assert_eq!(block.get(&[0, 0]), a.get(&[1, 2]));
+        assert_eq!(block.get(&[1, 2]), a.get(&[2, 4]));
+
+        let mut b = NdArray::<f64>::zeros(Shape::d2(4, 5));
+        b.insert_region(&r, &block);
+        assert_eq!(b.get(&[2, 4]), a.get(&[2, 4]));
+        assert_eq!(b.get(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_divergence() {
+        let a = seq_array(Shape::d1(5));
+        let mut b = a.clone();
+        b.set(&[3], b.get(&[3]) + 0.25);
+        assert_eq!(a.max_abs_diff(&b), 0.25);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_len_mismatch_panics() {
+        let _ = NdArray::from_vec(Shape::d1(3), vec![1.0f32; 4]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Rectangular sub-boxes of an array.
+//!
+//! Regions describe anchor-point blocks and sampled blocks without copying
+//! data. A region is an origin plus a size in each dimension; both use the
+//! dimensionality of the array they index into.
+
+use crate::shape::{Shape, MAX_NDIM};
+
+/// A rectangular, axis-aligned box inside an [`crate::NdArray`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    origin: [usize; MAX_NDIM],
+    size: [usize; MAX_NDIM],
+    ndim: usize,
+}
+
+impl Region {
+    /// Create a region at `origin` with the given `size`.
+    ///
+    /// # Panics
+    /// Panics if lengths mismatch, exceed [`MAX_NDIM`], or any extent is 0.
+    pub fn new(origin: &[usize], size: &[usize]) -> Self {
+        assert_eq!(origin.len(), size.len(), "origin/size rank mismatch");
+        assert!(
+            !size.is_empty() && size.len() <= MAX_NDIM,
+            "region rank out of range"
+        );
+        assert!(size.iter().all(|&s| s > 0), "zero-extent region");
+        let mut o = [0usize; MAX_NDIM];
+        let mut s = [1usize; MAX_NDIM];
+        o[..origin.len()].copy_from_slice(origin);
+        s[..size.len()].copy_from_slice(size);
+        Region {
+            origin: o,
+            size: s,
+            ndim: size.len(),
+        }
+    }
+
+    /// Region covering an entire shape.
+    pub fn full(shape: Shape) -> Self {
+        Region::new(&vec![0; shape.ndim()], shape.dims())
+    }
+
+    /// The region's rank.
+    #[inline(always)]
+    pub fn ndim(&self) -> usize {
+        self.ndim
+    }
+
+    /// Starting index in each dimension.
+    #[inline(always)]
+    pub fn origin(&self) -> &[usize] {
+        &self.origin[..self.ndim]
+    }
+
+    /// Extent in each dimension.
+    #[inline(always)]
+    pub fn size(&self) -> &[usize] {
+        &self.size[..self.ndim]
+    }
+
+    /// Number of elements covered.
+    pub fn len(&self) -> usize {
+        self.size().iter().product()
+    }
+
+    /// `true` when the region covers no elements (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Panic unless the region fits inside `shape` with matching rank.
+    pub fn validate(&self, shape: Shape) {
+        assert_eq!(self.ndim, shape.ndim(), "region rank != array rank");
+        for d in 0..self.ndim {
+            assert!(
+                self.origin[d] + self.size[d] <= shape.dim(d),
+                "region {:?}+{:?} exceeds shape {:?} in dim {}",
+                self.origin(),
+                self.size(),
+                shape,
+                d
+            );
+        }
+    }
+
+    /// Split a shape into a grid of regions of at most `block` elements per
+    /// side (edge regions may be smaller). This is the anchor-block
+    /// partitioning used by QoZ.
+    pub fn tile(shape: Shape, block: usize) -> Vec<Region> {
+        assert!(block > 0, "block size must be positive");
+        let nd = shape.ndim();
+        let counts: Vec<usize> = (0..nd).map(|d| shape.dim(d).div_ceil(block)).collect();
+        let grid = Shape::new(&counts);
+        let mut out = Vec::with_capacity(grid.len());
+        for gidx in grid.indices() {
+            let mut origin = vec![0usize; nd];
+            let mut size = vec![0usize; nd];
+            for d in 0..nd {
+                origin[d] = gidx[d] * block;
+                size[d] = block.min(shape.dim(d) - origin[d]);
+            }
+            out.push(Region::new(&origin, &size));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_region_covers_shape() {
+        let s = Shape::d3(3, 4, 5);
+        let r = Region::full(s);
+        assert_eq!(r.len(), s.len());
+        r.validate(s);
+    }
+
+    #[test]
+    fn tile_covers_exactly_once() {
+        let s = Shape::d2(10, 7);
+        let tiles = Region::tile(s, 4);
+        // 3 x 2 grid.
+        assert_eq!(tiles.len(), 6);
+        let total: usize = tiles.iter().map(|r| r.len()).sum();
+        assert_eq!(total, s.len());
+        // Edge tiles shrink.
+        assert_eq!(tiles.last().unwrap().size(), &[2, 3]);
+    }
+
+    #[test]
+    fn tile_block_larger_than_shape() {
+        let s = Shape::d2(3, 3);
+        let tiles = Region::tile(s, 16);
+        assert_eq!(tiles.len(), 1);
+        assert_eq!(tiles[0].size(), &[3, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_region_fails_validation() {
+        Region::new(&[2, 2], &[3, 3]).validate(Shape::d2(4, 4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rank_mismatch_fails_validation() {
+        Region::new(&[0], &[2]).validate(Shape::d2(4, 4));
+    }
+
+    #[test]
+    fn tile_3d_counts() {
+        let s = Shape::d3(8, 8, 8);
+        assert_eq!(Region::tile(s, 4).len(), 8);
+    }
+}

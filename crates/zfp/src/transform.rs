@@ -1,0 +1,173 @@
+//! Reversible integer decorrelating transform for 4^d blocks.
+//!
+//! Two levels of the integer S-transform (reversible Haar): each 4-sample
+//! line becomes `[ss, sd, d0, d1]` where `d*` are pairwise differences,
+//! `sd` is the difference of pair-averages and `ss` the overall average.
+//! Every step uses the `(s, d) = ((a+b)>>1, a-b)` pair, which is exactly
+//! invertible in integer arithmetic, so a block coded with all bitplanes
+//! reconstructs bit-exactly — the property the encoder's
+//! verify-and-extend loop relies on.
+
+/// Exactly-invertible pair: forward.
+///
+/// Wrapping arithmetic: legitimate blocks never overflow (the caller
+/// bounds coefficient magnitudes), but adversarially corrupted streams
+/// can reach the decoder with near-`i64::MAX` coefficients; those must
+/// decode to garbage, not a panic.
+#[inline(always)]
+fn s_fwd(a: i64, b: i64) -> (i64, i64) {
+    (a.wrapping_add(b) >> 1, a.wrapping_sub(b))
+}
+
+/// Exactly-invertible pair: inverse.
+#[inline(always)]
+fn s_inv(s: i64, d: i64) -> (i64, i64) {
+    let a = s.wrapping_add(d.wrapping_add(1) >> 1);
+    (a, a.wrapping_sub(d))
+}
+
+/// Forward transform of one 4-sample line (stride `s` within `p`).
+#[inline]
+fn fwd_line(p: &mut [i64], off: usize, s: usize) {
+    let (x, y, z, w) = (p[off], p[off + s], p[off + 2 * s], p[off + 3 * s]);
+    let (s0, d0) = s_fwd(x, y);
+    let (s1, d1) = s_fwd(z, w);
+    let (ss, sd) = s_fwd(s0, s1);
+    p[off] = ss;
+    p[off + s] = sd;
+    p[off + 2 * s] = d0;
+    p[off + 3 * s] = d1;
+}
+
+/// Inverse of [`fwd_line`].
+#[inline]
+fn inv_line(p: &mut [i64], off: usize, s: usize) {
+    let (ss, sd, d0, d1) = (p[off], p[off + s], p[off + 2 * s], p[off + 3 * s]);
+    let (s0, s1) = s_inv(ss, sd);
+    let (x, y) = s_inv(s0, d0);
+    let (z, w) = s_inv(s1, d1);
+    p[off] = x;
+    p[off + s] = y;
+    p[off + 2 * s] = z;
+    p[off + 3 * s] = w;
+}
+
+/// Apply the forward transform along every dimension of a 4^d block
+/// stored row-major in `p` (`p.len() == 4^nd`).
+pub fn forward(p: &mut [i64], nd: usize) {
+    apply(p, nd, fwd_line);
+}
+
+/// Exact inverse of [`forward`].
+pub fn inverse(p: &mut [i64], nd: usize) {
+    // Dimensions must be undone in reverse order.
+    apply_rev(p, nd, inv_line);
+}
+
+fn lines_of(nd: usize, dim: usize) -> Vec<(usize, usize)> {
+    // For dimension `dim` of a 4^nd row-major block, the stride is
+    // 4^(nd-1-dim); lines start at every index whose `dim` digit is 0.
+    let n = 4usize.pow(nd as u32);
+    let stride = 4usize.pow((nd - 1 - dim) as u32);
+    let mut out = Vec::with_capacity(n / 4);
+    for i in 0..n {
+        let digit = (i / stride) % 4;
+        if digit == 0 {
+            out.push((i, stride));
+        }
+    }
+    out
+}
+
+fn apply(p: &mut [i64], nd: usize, f: fn(&mut [i64], usize, usize)) {
+    for dim in 0..nd {
+        for (off, s) in lines_of(nd, dim) {
+            f(p, off, s);
+        }
+    }
+}
+
+fn apply_rev(p: &mut [i64], nd: usize, f: fn(&mut [i64], usize, usize)) {
+    for dim in (0..nd).rev() {
+        for (off, s) in lines_of(nd, dim) {
+            f(p, off, s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(p: &[i64], nd: usize) {
+        let mut t = p.to_vec();
+        forward(&mut t, nd);
+        inverse(&mut t, nd);
+        assert_eq!(t, p, "transform not invertible");
+    }
+
+    #[test]
+    fn line_pair_invertible_exhaustive_small() {
+        for a in -20i64..20 {
+            for b in -20i64..20 {
+                let (s, d) = s_fwd(a, b);
+                assert_eq!(s_inv(s, d), (a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn invertible_1d() {
+        roundtrip(&[5, -3, 1000, 7], 1);
+        roundtrip(&[i64::MAX >> 4, -(i64::MAX >> 4), 0, 1], 1);
+    }
+
+    #[test]
+    fn invertible_2d_3d_random() {
+        let mut x = 0xABCDEFu64;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x as i64) >> 34 // ~30-bit values
+        };
+        for nd in [2usize, 3] {
+            let n = 4usize.pow(nd as u32);
+            for _ in 0..50 {
+                let block: Vec<i64> = (0..n).map(|_| next()).collect();
+                roundtrip(&block, nd);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_block_concentrates_energy() {
+        let mut p = vec![100i64; 16];
+        forward(&mut p, 2);
+        // Everything except the DC coefficient should be zero.
+        assert_eq!(p[0], 100);
+        assert!(p[1..].iter().all(|&c| c == 0), "{p:?}");
+    }
+
+    #[test]
+    fn linear_ramp_small_high_coeffs() {
+        // A smooth ramp should leave second-difference coefficients small.
+        let mut p: Vec<i64> = (0..4).map(|i| 1000 + 10 * i as i64).collect();
+        forward(&mut p, 1);
+        // d0 = a-b = -10, d1 = -10, sd small.
+        assert!(p[2].abs() <= 10 && p[3].abs() <= 10);
+    }
+
+    #[test]
+    fn dynamic_range_growth_bounded() {
+        // |coefficients| grow at most 2x per dimension level.
+        let m = 1i64 << 40;
+        for nd in [1usize, 2, 3] {
+            let n = 4usize.pow(nd as u32);
+            let mut p: Vec<i64> = (0..n).map(|i| if i % 2 == 0 { m } else { -m }).collect();
+            forward(&mut p, nd);
+            let max = p.iter().map(|c| c.abs()).max().unwrap();
+            assert!(max <= m << (nd as u32 + 1), "growth too large: {max}");
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Quality-metric-oriented tuning on a climate field (the paper's core
+//! feature): the *same* error bound, four different tuning inclinations,
+//! four different compression outcomes.
+//!
+//! Climate analysts might demand low NRMSE (→ PSNR mode), visualization
+//! teams high SSIM, statisticians white compression noise (→ AC mode),
+//! and archival pipelines raw capacity (→ CR mode). QoZ serves each from
+//! one codebase — the scenario motivating the paper's introduction.
+//!
+//! ```text
+//! cargo run --release --example climate_quality_tuning
+//! ```
+
+use qoz_suite::codec::{Compressor, ErrorBound};
+use qoz_suite::datagen::{Dataset, SizeClass};
+use qoz_suite::metrics::{self, QualityMetric};
+use qoz_suite::qoz::Qoz;
+use qoz_suite::tensor::NdArray;
+
+fn main() {
+    let data = Dataset::CesmAtm.generate(SizeClass::Small, 0);
+    let bound = ErrorBound::Rel(1e-3);
+    let abs = bound.absolute(&data);
+    println!(
+        "CESM-ATM-like field {:?}, value-range eps = 1e-3 (abs e = {abs:.3e})\n",
+        data.shape()
+    );
+    println!(
+        "{:<22} {:>8} {:>9} {:>9} {:>9}  (alpha,beta)",
+        "tuning mode", "CR", "PSNR", "SSIM", "|AC|"
+    );
+
+    for metric in [
+        QualityMetric::CompressionRatio,
+        QualityMetric::Psnr,
+        QualityMetric::Ssim,
+        QualityMetric::AutoCorrelation,
+    ] {
+        let qoz = Qoz::for_metric(metric);
+        let plan = qoz.plan(&data, bound);
+        let blob = qoz.compress_with_plan(&data, &plan);
+        let recon: NdArray<f32> = qoz.decompress(&blob).unwrap();
+        assert!(
+            metrics::verify_error_bound(&data, &recon, abs).is_none(),
+            "all modes must respect the same hard bound"
+        );
+        println!(
+            "{:<22} {:>8.1} {:>9.2} {:>9.4} {:>9.4}  ({}, {})",
+            format!("{} preferred", metric.name()),
+            (data.len() * 4) as f64 / blob.len() as f64,
+            metrics::psnr(&data, &recon),
+            metrics::ssim(&data, &recon),
+            metrics::error_autocorrelation(&data, &recon, 1).abs(),
+            plan.alpha,
+            plan.beta,
+        );
+    }
+    println!("\nEvery mode met the identical error bound; only the");
+    println!("rate/quality trade-off moved toward the requested metric.");
+}

@@ -1,0 +1,78 @@
+//! Quickstart: compress a scientific field with QoZ, inspect the tuned
+//! plan, decompress, and verify the error-bound contract.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use qoz_suite::codec::{Compressor, ErrorBound};
+use qoz_suite::datagen::{Dataset, SizeClass};
+use qoz_suite::metrics::{self, QualityMetric};
+use qoz_suite::qoz::Qoz;
+use qoz_suite::tensor::NdArray;
+
+fn main() {
+    // A turbulence-like 3D field standing in for the Miranda dataset.
+    let data = Dataset::Miranda.generate(SizeClass::Small, 0);
+    println!(
+        "input: Miranda-like {:?}, {} points ({:.1} MB)",
+        data.shape(),
+        data.len(),
+        (data.len() * 4) as f64 / 1e6
+    );
+
+    // Value-range-relative error bound of 1e-3, tuned for rate-PSNR.
+    let bound = ErrorBound::Rel(1e-3);
+    let qoz = Qoz::for_metric(QualityMetric::Psnr);
+
+    // The plan shows what the online tuner decided.
+    let plan = qoz.plan(&data, bound);
+    println!(
+        "tuned plan: alpha={}, beta={}, anchor stride={}, {} levels",
+        plan.alpha,
+        plan.beta,
+        plan.spec.anchor_stride.unwrap(),
+        plan.spec.max_level
+    );
+    for (l, (cfg, eb)) in plan
+        .spec
+        .level_configs
+        .iter()
+        .zip(&plan.spec.level_ebs)
+        .enumerate()
+    {
+        println!(
+            "  level {}: {} interpolation, order {}, e_l = {:.3e}",
+            l + 1,
+            cfg.kind.name(),
+            cfg.order.name(data.shape().ndim()),
+            eb
+        );
+    }
+
+    let t0 = std::time::Instant::now();
+    let blob = qoz.compress(&data, bound);
+    let dt = t0.elapsed();
+    let cr = (data.len() * 4) as f64 / blob.len() as f64;
+    println!(
+        "compressed: {} bytes, CR = {:.1}x, {:.0} MB/s",
+        blob.len(),
+        cr,
+        (data.len() * 4) as f64 / 1e6 / dt.as_secs_f64()
+    );
+
+    let recon: NdArray<f32> = qoz.decompress(&blob).expect("decompression failed");
+    let abs = bound.absolute(&data);
+    println!(
+        "quality: PSNR = {:.2} dB, SSIM = {:.4}, max|err| = {:.3e} (bound {:.3e})",
+        metrics::psnr(&data, &recon),
+        metrics::ssim(&data, &recon),
+        data.max_abs_diff(&recon),
+        abs
+    );
+    assert!(
+        metrics::verify_error_bound(&data, &recon, abs).is_none(),
+        "error bound violated!"
+    );
+    println!("error bound verified on every point ✓");
+}

@@ -1,0 +1,65 @@
+//! Rate-distortion shoot-out on turbulence data: all five compressors,
+//! a sweep of error bounds, one table — a miniature of the paper's
+//! Fig. 8 on the Miranda-like dataset.
+//!
+//! ```text
+//! cargo run --release --example turbulence_rate_distortion
+//! ```
+
+use qoz_suite::codec::{Compressor, ErrorBound};
+use qoz_suite::datagen::{Dataset, SizeClass};
+use qoz_suite::metrics::{self, QualityMetric};
+use qoz_suite::tensor::NdArray;
+
+fn main() {
+    let data = Dataset::Miranda.generate(SizeClass::Small, 0);
+    println!(
+        "Miranda-like turbulence {:?} — rate-distortion sweep\n",
+        data.shape()
+    );
+    println!(
+        "{:<8} {:>9} {:>10} {:>9} {:>9}",
+        "codec", "eps", "bitrate", "PSNR", "CR"
+    );
+
+    // The five compressors of the paper's evaluation; QoZ tuned for PSNR.
+    let compressors: Vec<(&str, Box<dyn Fn(&NdArray<f32>, ErrorBound) -> (Vec<u8>, NdArray<f32>)>)> = vec![
+        ("SZ2.1", boxed(qoz_suite::sz2::Sz2::default())),
+        ("SZ3", boxed(qoz_suite::sz3::Sz3::default())),
+        ("ZFP", boxed(qoz_suite::zfp::Zfp)),
+        ("MGARD+", boxed(qoz_suite::mgard::Mgard)),
+        (
+            "QoZ",
+            boxed(qoz_suite::qoz::Qoz::for_metric(QualityMetric::Psnr)),
+        ),
+    ];
+
+    for (name, run) in &compressors {
+        for eps in [1e-2, 1e-3, 1e-4] {
+            let bound = ErrorBound::Rel(eps);
+            let (blob, recon) = run(&data, bound);
+            let bitrate = blob.len() as f64 * 8.0 / data.len() as f64;
+            println!(
+                "{:<8} {:>9.0e} {:>10.4} {:>9.2} {:>9.1}",
+                name,
+                eps,
+                bitrate,
+                metrics::psnr(&data, &recon),
+                32.0 / bitrate
+            );
+        }
+    }
+    println!("\nLower bitrate at equal PSNR (or higher PSNR at equal bitrate) wins;");
+    println!("compare the QoZ rows against each baseline at matching eps.");
+}
+
+/// Adapt any `Compressor<f32>` into a closure producing (blob, recon).
+fn boxed<C: Compressor<f32> + 'static>(
+    c: C,
+) -> Box<dyn Fn(&NdArray<f32>, ErrorBound) -> (Vec<u8>, NdArray<f32>)> {
+    Box::new(move |data, bound| {
+        let blob = c.compress(data, bound);
+        let recon = c.decompress(&blob).expect("self-produced blob");
+        (blob, recon)
+    })
+}

@@ -1,0 +1,43 @@
+//! # qoz-suite — QoZ reproduction workspace
+//!
+//! A from-scratch Rust reproduction of *"Dynamic Quality Metric Oriented
+//! Error-bounded Lossy Compression for Scientific Datasets"* (Liu, Di,
+//! Zhao, Liang, Chen, Cappello — SC 2022), including the QoZ compressor
+//! itself, the four baselines it is evaluated against (SZ2.1, SZ3, ZFP,
+//! MGARD+), the shared codec substrate, quality metrics, synthetic
+//! stand-ins for the six SDRBench datasets, and the parallel-I/O model.
+//!
+//! This umbrella crate re-exports every workspace crate under one name
+//! for convenience:
+//!
+//! ```
+//! use qoz_suite::qoz::Qoz;
+//! use qoz_suite::codec::{Compressor, ErrorBound};
+//! use qoz_suite::metrics::QualityMetric;
+//! use qoz_suite::tensor::{NdArray, Shape};
+//!
+//! let data = NdArray::from_fn(Shape::d2(64, 64), |i| {
+//!     ((i[0] as f32) * 0.1).sin() + ((i[1] as f32) * 0.08).cos()
+//! });
+//! let qoz = Qoz::for_metric(QualityMetric::Ssim);
+//! let blob = qoz.compress(&data, ErrorBound::Rel(1e-3));
+//! let recon: NdArray<f32> = qoz.decompress(&blob).unwrap();
+//! assert!(data.max_abs_diff(&recon) <= ErrorBound::Rel(1e-3).absolute(&data));
+//! ```
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! system inventory and per-experiment index, and `EXPERIMENTS.md` for
+//! paper-vs-measured results. The `repro` binary (in `qoz-bench`)
+//! regenerates every table and figure.
+
+pub use qoz_codec as codec;
+pub use qoz_core as qoz;
+pub use qoz_datagen as datagen;
+pub use qoz_metrics as metrics;
+pub use qoz_mgard as mgard;
+pub use qoz_pario as pario;
+pub use qoz_predict as predict;
+pub use qoz_sz2 as sz2;
+pub use qoz_sz3 as sz3;
+pub use qoz_tensor as tensor;
+pub use qoz_zfp as zfp;

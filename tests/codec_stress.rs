@@ -1,0 +1,92 @@
+//! Stress tests for the shared lossless substrate: large alphabets,
+//! window-boundary matches, pathological distributions.
+
+use qoz_suite::codec::{
+    decode_bins, encode_bins, lossless_compress, lossless_decompress, ByteReader, ByteWriter,
+    HuffmanDecoder, HuffmanEncoder,
+};
+
+#[test]
+fn huffman_handles_large_alphabet() {
+    // ~60k distinct symbols (the full default quantizer code space).
+    let symbols: Vec<u32> = (0..60_000u32).flat_map(|s| [s, s]).collect();
+    let enc = HuffmanEncoder::from_symbols(&symbols).unwrap();
+    assert_eq!(enc.num_symbols(), 60_000);
+    let mut w = ByteWriter::new();
+    enc.encode(&symbols, &mut w);
+    let buf = w.finish();
+    let mut r = ByteReader::new(&buf);
+    assert_eq!(HuffmanDecoder::decode(&mut r).unwrap(), symbols);
+}
+
+#[test]
+fn huffman_extreme_skew_stays_within_max_code_len() {
+    // Fibonacci-like frequencies drive naive Huffman depth ~n; the
+    // flattening rebuild must cap it at MAX_CODE_LEN.
+    let mut symbols = Vec::new();
+    let mut f0: u64 = 1;
+    let mut f1: u64 = 1;
+    for s in 0..48u32 {
+        let reps = f0.min(5000); // cap memory but keep the skew shape
+        symbols.extend(std::iter::repeat_n(s, reps as usize));
+        let f2 = f0.saturating_add(f1);
+        f0 = f1;
+        f1 = f2;
+    }
+    let enc = HuffmanEncoder::from_symbols(&symbols).unwrap();
+    for s in 0..48u32 {
+        assert!(enc.length_of(s).unwrap() <= qoz_suite::codec::huffman::MAX_CODE_LEN);
+    }
+    let mut w = ByteWriter::new();
+    enc.encode(&symbols, &mut w);
+    let buf = w.finish();
+    let mut r = ByteReader::new(&buf);
+    assert_eq!(HuffmanDecoder::decode(&mut r).unwrap(), symbols);
+}
+
+#[test]
+fn lzss_match_across_window_boundary_distances() {
+    // Repeats separated by close to the 64 KiB window: matches near the
+    // maximum distance must round-trip.
+    let motif: Vec<u8> = (0..64u8).collect();
+    let mut data = motif.clone();
+    data.extend(vec![0xEEu8; (1 << 16) - 100]);
+    data.extend(&motif); // distance ~65436 from first copy
+    let packed = lossless_compress(&data);
+    assert_eq!(lossless_decompress(&packed).unwrap(), data);
+}
+
+#[test]
+fn lzss_just_beyond_window_still_correct() {
+    let motif: Vec<u8> = (0..64u8).map(|b| b.wrapping_mul(37)).collect();
+    let mut data = motif.clone();
+    data.extend(vec![0x11u8; (1 << 16) + 50]); // push motif out of window
+    data.extend(&motif);
+    let packed = lossless_compress(&data);
+    assert_eq!(lossless_decompress(&packed).unwrap(), data);
+}
+
+#[test]
+fn bins_with_all_identical_values_compress_hugely() {
+    let bins = vec![32768u32; 1_000_000];
+    let blob = encode_bins(&bins);
+    assert!(blob.len() < 2_000, "constant bins -> {} bytes", blob.len());
+    assert_eq!(decode_bins(&blob).unwrap().len(), 1_000_000);
+}
+
+#[test]
+fn alternating_bins_roundtrip() {
+    let bins: Vec<u32> = (0..100_000).map(|i| if i % 2 == 0 { 32768 } else { 32769 }).collect();
+    let blob = encode_bins(&bins);
+    assert_eq!(decode_bins(&blob).unwrap(), bins);
+    // 1 bit/symbol + LZSS on top: far below raw.
+    assert!(blob.len() < 100_000 / 4);
+}
+
+#[test]
+fn empty_and_single_byte_lossless() {
+    for data in [vec![], vec![0x42u8]] {
+        let packed = lossless_compress(&data);
+        assert_eq!(lossless_decompress(&packed).unwrap(), data);
+    }
+}

@@ -1,0 +1,97 @@
+//! Malformed-stream robustness: corrupted, truncated, or cross-codec
+//! blobs must produce errors, never panics or silent garbage.
+
+use qoz_suite::codec::{Compressor, ErrorBound};
+use qoz_suite::datagen::{Dataset, SizeClass};
+use qoz_suite::tensor::NdArray;
+
+fn compressors() -> Vec<(&'static str, Box<dyn Compressor<f32>>)> {
+    vec![
+        ("SZ2.1", Box::new(qoz_suite::sz2::Sz2::default())),
+        ("SZ3", Box::new(qoz_suite::sz3::Sz3::default())),
+        ("ZFP", Box::new(qoz_suite::zfp::Zfp)),
+        ("MGARD+", Box::new(qoz_suite::mgard::Mgard)),
+        ("QoZ", Box::new(qoz_suite::qoz::Qoz::default())),
+    ]
+}
+
+fn sample_blob(c: &dyn Compressor<f32>) -> Vec<u8> {
+    let data = Dataset::CesmAtm.generate(SizeClass::Tiny, 0);
+    c.compress(&data, ErrorBound::Rel(1e-3))
+}
+
+#[test]
+fn truncation_at_every_eighth_byte_errors() {
+    for (name, c) in compressors() {
+        let blob = sample_blob(c.as_ref());
+        for cut in (0..blob.len()).step_by(8) {
+            let r = c.decompress(&blob[..cut]);
+            assert!(r.is_err(), "{name}: truncation at {cut} accepted");
+        }
+    }
+}
+
+#[test]
+fn cross_codec_streams_rejected() {
+    let comps = compressors();
+    let blobs: Vec<Vec<u8>> = comps.iter().map(|(_, c)| sample_blob(c.as_ref())).collect();
+    for (i, (name_i, c)) in comps.iter().enumerate() {
+        for (j, blob) in blobs.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            assert!(
+                c.decompress(blob).is_err(),
+                "{name_i} accepted a stream from {}",
+                comps[j].0
+            );
+        }
+    }
+}
+
+#[test]
+fn single_byte_corruptions_never_panic() {
+    // Flip one byte at a spread of positions; decoding may succeed with
+    // different data (payload bits), may error — but must never panic.
+    for (name, c) in compressors() {
+        let blob = sample_blob(c.as_ref());
+        let step = (blob.len() / 64).max(1);
+        for pos in (0..blob.len()).step_by(step) {
+            let mut bad = blob.clone();
+            bad[pos] ^= 0xA5;
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = c.decompress(&bad);
+            }));
+            assert!(result.is_ok(), "{name}: panic on corruption at byte {pos}");
+        }
+    }
+}
+
+#[test]
+fn garbage_input_rejected() {
+    for (name, c) in compressors() {
+        assert!(c.decompress(&[]).is_err(), "{name} accepted empty");
+        assert!(c.decompress(b"not a stream").is_err(), "{name} accepted garbage");
+        let zeros = vec![0u8; 1024];
+        assert!(c.decompress(&zeros).is_err(), "{name} accepted zeros");
+    }
+}
+
+#[test]
+fn header_shape_mismatch_on_giant_dims_rejected() {
+    // A hand-built header with absurd dimensions must not cause a huge
+    // allocation or a panic — headers cap dimension sizes.
+    let mut w = qoz_suite::codec::ByteWriter::new();
+    w.put_bytes(b"QZWS");
+    w.put_u8(1); // version
+    w.put_u8(2); // SZ3
+    w.put_u8(0x32); // f32
+    w.put_u8(2); // 2D
+    w.put_varint(u64::MAX); // absurd dim
+    w.put_varint(4);
+    w.put_f64(1e-3);
+    let blob = w.finish();
+    let c = qoz_suite::sz3::Sz3::default();
+    let r: Result<NdArray<f32>, _> = c.decompress(&blob);
+    assert!(r.is_err());
+}
