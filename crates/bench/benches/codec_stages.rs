@@ -10,9 +10,7 @@ use qoz_tensor::{NdArray, Shape};
 fn stage_benches(c: &mut Criterion) {
     // Quantizer: 1M residuals.
     let quant = LinearQuantizer::new(1e-3);
-    let values: Vec<f64> = (0..1_000_000)
-        .map(|i| (i as f64 * 0.001).sin())
-        .collect();
+    let values: Vec<f64> = (0..1_000_000).map(|i| (i as f64 * 0.001).sin()).collect();
     let mut group = c.benchmark_group("quantizer");
     group.throughput(Throughput::Elements(values.len() as u64));
     group.bench_function("quantize_1M", |b| {

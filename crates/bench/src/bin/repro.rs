@@ -147,7 +147,12 @@ fn table3(o: &Opts) {
         }
     }
     let path = format!("{}/table3_cr.csv", o.out);
-    write_csv(&path, "dataset,eps,sz2,sz3,zfp,mgard,qoz,improve_pct", &rows).unwrap();
+    write_csv(
+        &path,
+        "dataset,eps,sz2,sz3,zfp,mgard,qoz,improve_pct",
+        &rows,
+    )
+    .unwrap();
     println!("-> {path}");
 }
 
@@ -157,7 +162,17 @@ fn table4(o: &Opts) {
     println!("\n=== Table IV: compression/decompression speed (MB/s), eps=1e-3 ===");
     println!(
         "{:<12}  {:>7} {:>7} {:>7} {:>7} {:>7}   {:>7} {:>7} {:>7} {:>7} {:>7}",
-        "Dataset", "SZ2.1c", "SZ3c", "ZFPc", "MGDc", "QoZc", "SZ2.1d", "SZ3d", "ZFPd", "MGDd", "QoZd"
+        "Dataset",
+        "SZ2.1c",
+        "SZ3c",
+        "ZFPc",
+        "MGDc",
+        "QoZc",
+        "SZ2.1d",
+        "SZ3d",
+        "ZFPd",
+        "MGDd",
+        "QoZd"
     );
     let mut rows = Vec::new();
     for ds in Dataset::ALL {
@@ -281,7 +296,12 @@ fn rate_curves(o: &Opts, metric: QualityMetric, tag: &str) {
             }
         }
     }
-    let path = format!("{}/{}_rate_{}.csv", o.out, tag, metric.name().to_lowercase());
+    let path = format!(
+        "{}/{}_rate_{}.csv",
+        o.out,
+        tag,
+        metric.name().to_lowercase()
+    );
     write_csv(&path, "dataset,compressor,eps,bitrate,psnr,ssim,ac", &rows).unwrap();
     println!("-> {path}");
 }
@@ -435,13 +455,20 @@ fn fig13(o: &Opts) {
                     r.psnr
                 ));
                 if eps == 1e-3 {
-                    println!("  a={a} b={b}: bitrate={:.4}  PSNR={:.2}", r.bitrate, r.psnr);
+                    println!(
+                        "  a={a} b={b}: bitrate={:.4}  PSNR={:.2}",
+                        r.bitrate, r.psnr
+                    );
                 }
             }
         }
         let auto = Qoz::for_metric(QualityMetric::Psnr);
         for eps in sweeps {
-            let r = evaluate(&AnyCompressor::Qoz(auto.clone()), &data, ErrorBound::Rel(eps));
+            let r = evaluate(
+                &AnyCompressor::Qoz(auto.clone()),
+                &data,
+                ErrorBound::Rel(eps),
+            );
             rows.push(format!(
                 "{},autotuning,{:e},{:.4},{:.2}",
                 ds.name(),

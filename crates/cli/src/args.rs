@@ -143,8 +143,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             bound: require("-e")?
                 .parse()
                 .map_err(|_| CliError::usage("bad bound value for -e"))?,
-            codec: get_flag("--codec").map(CodecChoice::parse).transpose()?.unwrap_or_default(),
-            metric: get_flag("--metric").map(metric_of).transpose()?.unwrap_or_default(),
+            codec: get_flag("--codec")
+                .map(CodecChoice::parse)
+                .transpose()?
+                .unwrap_or_default(),
+            metric: get_flag("--metric")
+                .map(metric_of)
+                .transpose()?
+                .unwrap_or_default(),
         }),
         "decompress" => Ok(Command::Decompress {
             input: require("-i")?.to_string(),
@@ -204,8 +210,8 @@ mod tests {
     #[test]
     fn parse_compress_full() {
         let cmd = parse(&sv(&[
-            "compress", "-i", "a.f32", "-o", "a.qz", "-d", "64x64", "-e", "1e-3", "--codec",
-            "sz3", "--metric", "ssim", "-m", "abs",
+            "compress", "-i", "a.f32", "-o", "a.qz", "-d", "64x64", "-e", "1e-3", "--codec", "sz3",
+            "--metric", "ssim", "-m", "abs",
         ]))
         .unwrap();
         match cmd {
@@ -234,8 +240,10 @@ mod tests {
 
     #[test]
     fn defaults_applied() {
-        let cmd = parse(&sv(&["compress", "-i", "a", "-o", "b", "-d", "8x8", "-e", "0.01"]))
-            .unwrap();
+        let cmd = parse(&sv(&[
+            "compress", "-i", "a", "-o", "b", "-d", "8x8", "-e", "0.01",
+        ]))
+        .unwrap();
         match cmd {
             Command::Compress {
                 codec,

@@ -73,7 +73,11 @@ pub fn run(cmd: Command) -> Result<Vec<String>, CliError> {
                 format!("compressor    : {}", h.compressor.name()),
                 format!(
                     "scalar type   : {}",
-                    if h.scalar_tag == f64::TYPE_TAG { "f64" } else { "f32" }
+                    if h.scalar_tag == f64::TYPE_TAG {
+                        "f64"
+                    } else {
+                        "f32"
+                    }
                 ),
                 format!("dimensions    : {:?}", h.shape.dims()),
                 format!("points        : {}", h.shape.len()),
@@ -81,8 +85,7 @@ pub fn run(cmd: Command) -> Result<Vec<String>, CliError> {
                 format!("stream size   : {} bytes", blob.len()),
                 format!(
                     "ratio         : {:.2}x",
-                    (h.shape.len()
-                        * if h.scalar_tag == f64::TYPE_TAG { 8 } else { 4 }) as f64
+                    (h.shape.len() * if h.scalar_tag == f64::TYPE_TAG { 8 } else { 4 }) as f64
                         / blob.len() as f64
                 ),
             ])
@@ -194,11 +197,8 @@ mod tests {
         assert!(info.iter().any(|l| l.contains("[64, 128]")), "{info:?}");
 
         run(parse(&sv(&["decompress", "-i", &qz, "-o", &rec])).unwrap()).unwrap();
-        let eval = run(parse(&sv(&[
-            "eval", "-i", &raw, "-r", &rec, "-d", "64x128",
-        ]))
-        .unwrap())
-        .unwrap();
+        let eval =
+            run(parse(&sv(&["eval", "-i", &raw, "-r", &rec, "-d", "64x128"])).unwrap()).unwrap();
         assert!(eval[0].contains("PSNR"), "{eval:?}");
 
         for f in [&raw, &qz, &rec] {
@@ -214,8 +214,7 @@ mod tests {
             let qz = tmp(&format!("{codec}.qz"));
             let rec = tmp(&format!("{codec}_rec.f32"));
             run(parse(&sv(&[
-                "compress", "-i", &raw, "-o", &qz, "-d", "24x32x32", "-e", "1e-2", "--codec",
-                codec,
+                "compress", "-i", &raw, "-o", &qz, "-d", "24x32x32", "-e", "1e-2", "--codec", codec,
             ]))
             .unwrap())
             .unwrap();
@@ -230,11 +229,8 @@ mod tests {
     fn lossless_eval_is_perfect() {
         let raw = tmp("eval.f32");
         run(parse(&sv(&["gen", "-D", "nyx", "-s", "tiny", "-o", &raw])).unwrap()).unwrap();
-        let eval = run(parse(&sv(&[
-            "eval", "-i", &raw, "-r", &raw, "-d", "32x32x32",
-        ]))
-        .unwrap())
-        .unwrap();
+        let eval =
+            run(parse(&sv(&["eval", "-i", &raw, "-r", &raw, "-d", "32x32x32"])).unwrap()).unwrap();
         assert!(eval[0].contains("max |error|   : 0"), "{eval:?}");
         std::fs::remove_file(&raw).ok();
     }
@@ -244,7 +240,15 @@ mod tests {
         let raw = tmp("bad.f32");
         run(parse(&sv(&["gen", "-D", "cesm", "-s", "tiny", "-o", &raw])).unwrap()).unwrap();
         let r = run(parse(&sv(&[
-            "compress", "-i", &raw, "-o", "/dev/null", "-d", "10x10", "-e", "1e-3",
+            "compress",
+            "-i",
+            &raw,
+            "-o",
+            "/dev/null",
+            "-d",
+            "10x10",
+            "-e",
+            "1e-3",
         ]))
         .unwrap());
         assert!(r.is_err(), "size mismatch must be reported");

@@ -45,10 +45,7 @@ fn code_lengths(freqs: &[(u32, u64)]) -> Vec<(u32, u32)> {
     impl Ord for Node {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
             // BinaryHeap is a max-heap; invert for min-heap behaviour.
-            other
-                .weight
-                .cmp(&self.weight)
-                .then(other.id.cmp(&self.id))
+            other.weight.cmp(&self.weight).then(other.id.cmp(&self.id))
         }
     }
     impl PartialOrd for Node {
@@ -180,8 +177,7 @@ impl HuffmanEncoder {
     /// length), then varint payload symbol count, varint payload byte
     /// length, payload bits.
     pub fn encode(&self, symbols: &[u32], out: &mut ByteWriter) {
-        let mut entries: Vec<(u32, u32)> =
-            self.table.iter().map(|(&s, &(l, _))| (s, l)).collect();
+        let mut entries: Vec<(u32, u32)> = self.table.iter().map(|(&s, &(l, _))| (s, l)).collect();
         entries.sort_by_key(|&(s, l)| (l, s));
         out.put_varint(entries.len() as u64);
         for (sym, len) in &entries {

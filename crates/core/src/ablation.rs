@@ -104,7 +104,11 @@ mod tests {
             .map(|v| v.qoz_config(m))
             .collect();
         let as_bits = |c: &QozConfig| {
-            (c.sampled_selection as u8, c.level_interp_selection as u8, c.param_autotuning as u8)
+            (
+                c.sampled_selection as u8,
+                c.level_interp_selection as u8,
+                c.param_autotuning as u8,
+            )
         };
         let bits: Vec<_> = cfgs.iter().map(as_bits).collect();
         assert_eq!(bits, vec![(0, 0, 0), (1, 0, 0), (1, 1, 0), (1, 1, 1)]);
@@ -130,6 +134,9 @@ mod tests {
     #[test]
     fn names_are_paper_labels() {
         let names: Vec<_> = AblationVariant::ALL.iter().map(|v| v.name()).collect();
-        assert_eq!(names, vec!["SZ3", "SZ3+AP", "SZ3+AP+S", "SZ3+AP+S+LIS", "QoZ"]);
+        assert_eq!(
+            names,
+            vec!["SZ3", "SZ3+AP", "SZ3+AP+S", "SZ3+AP+S+LIS", "QoZ"]
+        );
     }
 }

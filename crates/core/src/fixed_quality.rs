@@ -15,8 +15,8 @@ use crate::{Qoz, QozPlan};
 use qoz_codec::stream::ErrorBound;
 use qoz_codec::Result;
 use qoz_metrics::{psnr, ssim};
-use qoz_tensor::{sample_blocks, NdArray, SamplePlan, Scalar};
 use qoz_sz3::{compress_with_spec, InterpSpec};
+use qoz_tensor::{sample_blocks, NdArray, SamplePlan, Scalar};
 
 /// A quality target for [`Qoz::compress_to_quality`].
 #[derive(Debug, Clone, Copy, PartialEq)]

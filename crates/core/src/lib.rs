@@ -106,8 +106,7 @@ impl Qoz {
             .min(total_levels)
             .max(1);
 
-        let level_configs: Vec<LevelConfig> = if cfg.sampled_selection
-            && cfg.level_interp_selection
+        let level_configs: Vec<LevelConfig> = if cfg.sampled_selection && cfg.level_interp_selection
         {
             tuning::select_level_interps(&blocks, abs_eb, sel_levels, total_levels)
         } else if cfg.sampled_selection {

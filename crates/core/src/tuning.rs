@@ -23,6 +23,9 @@ pub struct TrialResult {
     pub metric: f64,
 }
 
+/// Every `(alpha, beta)` candidate paired with its trial outcome.
+pub type TrialTable = Vec<((f64, f64), TrialResult)>;
+
 /// Level-adapted selection of the best-fit interpolator (Algorithm 1).
 ///
 /// For each level from `sel_levels` down to 1, every candidate
@@ -290,8 +293,8 @@ pub fn autotune_with_table<T: Scalar>(
     metric: QualityMetric,
     global_range: f64,
     candidates: &[(f64, f64)],
-) -> ((f64, f64), Vec<((f64, f64), TrialResult)>) {
-    let table: Vec<((f64, f64), TrialResult)> = candidates
+) -> ((f64, f64), TrialTable) {
+    let table: TrialTable = candidates
         .iter()
         .map(|&(a, b)| {
             (
@@ -369,9 +372,18 @@ mod tests {
     #[test]
     fn dominance_cases_direct() {
         let m = QualityMetric::Psnr;
-        let i = TrialResult { bits_per_point: 2.0, metric: 60.0 };
-        let worse = TrialResult { bits_per_point: 3.0, metric: 50.0 };
-        let better = TrialResult { bits_per_point: 1.0, metric: 70.0 };
+        let i = TrialResult {
+            bits_per_point: 2.0,
+            metric: 60.0,
+        };
+        let worse = TrialResult {
+            bits_per_point: 3.0,
+            metric: 50.0,
+        };
+        let better = TrialResult {
+            bits_per_point: 1.0,
+            metric: 70.0,
+        };
         assert!(!solution_ii_better(m, i, worse, |_| unreachable!()));
         assert!(solution_ii_better(m, i, better, |_| unreachable!()));
     }
@@ -380,25 +392,43 @@ mod tests {
     fn sophisticated_case_uses_line() {
         let m = QualityMetric::Psnr;
         // II: cheaper but lower quality than I.
-        let i = TrialResult { bits_per_point: 2.0, metric: 60.0 };
-        let ii = TrialResult { bits_per_point: 1.0, metric: 50.0 };
+        let i = TrialResult {
+            bits_per_point: 2.0,
+            metric: 60.0,
+        };
+        let ii = TrialResult {
+            bits_per_point: 1.0,
+            metric: 50.0,
+        };
         // II's curve probed at 1.2e (M_I > M_II): suppose at 2.0 bits II
         // would reach 65 dB -> line passes above I -> II better.
-        let probe_hi = TrialResult { bits_per_point: 2.0, metric: 65.0 };
+        let probe_hi = TrialResult {
+            bits_per_point: 2.0,
+            metric: 65.0,
+        };
         assert!(solution_ii_better(m, i, ii, |s| {
             assert!((s - 1.2).abs() < 1e-12);
             probe_hi
         }));
         // If II's curve only reaches 55 dB at 2.0 bits, I stays.
-        let probe_lo = TrialResult { bits_per_point: 2.0, metric: 55.0 };
+        let probe_lo = TrialResult {
+            bits_per_point: 2.0,
+            metric: 55.0,
+        };
         assert!(!solution_ii_better(m, i, ii, |_| probe_lo));
     }
 
     #[test]
     fn cr_mode_compares_bits_only() {
         let m = QualityMetric::CompressionRatio;
-        let i = TrialResult { bits_per_point: 2.0, metric: 0.0 };
-        let ii = TrialResult { bits_per_point: 1.5, metric: 0.0 };
+        let i = TrialResult {
+            bits_per_point: 2.0,
+            metric: 0.0,
+        };
+        let ii = TrialResult {
+            bits_per_point: 1.5,
+            metric: 0.0,
+        };
         assert!(solution_ii_better(m, i, ii, |_| unreachable!()));
     }
 
@@ -409,15 +439,7 @@ mod tests {
         let blocks = smooth_blocks();
         let configs = vec![LevelConfig::default(); 4];
         let cands = vec![(1.0, 1.0), (1.5, 2.0), (2.0, 4.0)];
-        let (a, _b) = autotune_params(
-            &blocks,
-            1e-3,
-            &configs,
-            4,
-            QualityMetric::Psnr,
-            2.0,
-            &cands,
-        );
+        let (a, _b) = autotune_params(&blocks, 1e-3, &configs, 4, QualityMetric::Psnr, 2.0, &cands);
         assert!(a >= 1.0);
     }
 

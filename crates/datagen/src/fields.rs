@@ -38,11 +38,14 @@ pub fn cesm_like(shape: Shape, seed: u64) -> NdArray<f32> {
     };
     NdArray::from_fn(shape, |idx| {
         let p = posf(idx);
-        let lat = idx[0] as f64 / nr; // 0..1 pole-to-pole
+        // 0..1 pole-to-pole.
+        let lat = idx[0] as f64 / nr;
         // Zonal banding: insolation-like cosine + jet-stream wiggle.
         let band = (std::f64::consts::PI * (lat - 0.5)).cos();
         let jet = (2.0 * std::f64::consts::TAU * lat + 3.0 * fbm(seed ^ 0xA1, &p, &large)).sin();
-        let v = 0.9 * band + 0.25 * jet + 0.5 * fbm(seed, &p, &large)
+        let v = 0.9 * band
+            + 0.25 * jet
+            + 0.5 * fbm(seed, &p, &large)
             + 0.18 * fbm(seed ^ 0xB2, &p, &detail);
         v as f32
     })
@@ -77,7 +80,11 @@ pub fn miranda_like(shape: Shape, seed: u64) -> NdArray<f32> {
 /// structure along depth.
 pub fn rtm_like(shape: Shape, seed: u64) -> NdArray<f32> {
     assert_eq!(shape.ndim(), 3, "RTM fields are 3D");
-    let dims = [shape.dim(0) as f64, shape.dim(1) as f64, shape.dim(2) as f64];
+    let dims = [
+        shape.dim(0) as f64,
+        shape.dim(1) as f64,
+        shape.dim(2) as f64,
+    ];
     let medium = FbmParams {
         octaves: 3,
         base_wavelength: dims[2].max(dims[0]) / 2.5,
@@ -126,7 +133,11 @@ pub fn nyx_like(shape: Shape, seed: u64) -> NdArray<f32> {
 /// First axis is altitude.
 pub fn hurricane_like(shape: Shape, seed: u64) -> NdArray<f32> {
     assert_eq!(shape.ndim(), 3, "Hurricane fields are 3D");
-    let dims = [shape.dim(0) as f64, shape.dim(1) as f64, shape.dim(2) as f64];
+    let dims = [
+        shape.dim(0) as f64,
+        shape.dim(1) as f64,
+        shape.dim(2) as f64,
+    ];
     let ambient = FbmParams {
         octaves: 4,
         base_wavelength: dims[1].max(dims[2]) / 4.0,
@@ -160,7 +171,11 @@ pub fn hurricane_like(shape: Shape, seed: u64) -> NdArray<f32> {
 /// axis is the (shallow) vertical.
 pub fn scale_letkf_like(shape: Shape, seed: u64) -> NdArray<f32> {
     assert_eq!(shape.ndim(), 3, "Scale-LETKF fields are 3D");
-    let dims = [shape.dim(0) as f64, shape.dim(1) as f64, shape.dim(2) as f64];
+    let dims = [
+        shape.dim(0) as f64,
+        shape.dim(1) as f64,
+        shape.dim(2) as f64,
+    ];
     let meso = FbmParams {
         octaves: 5,
         base_wavelength: dims[1].max(dims[2]) / 6.0,
@@ -291,7 +306,10 @@ mod tests {
             left += f.get(&[0, 4, k]) as f64;
             right += f.get(&[0, 60, k]) as f64;
         }
-        assert!((right - left).abs() > 100.0, "front not visible: {left} vs {right}");
+        assert!(
+            (right - left).abs() > 100.0,
+            "front not visible: {left} vs {right}"
+        );
     }
 
     #[test]
@@ -316,6 +334,11 @@ mod tests {
                 .sum::<f64>()
                 / step as f64
         };
-        assert!(d(0, 1) < d(0, 5), "adjacent {} vs distant {}", d(0, 1), d(0, 5));
+        assert!(
+            d(0, 1) < d(0, 5),
+            "adjacent {} vs distant {}",
+            d(0, 1),
+            d(0, 5)
+        );
     }
 }

@@ -20,8 +20,7 @@ pub mod fields;
 pub mod noise;
 
 pub use fields::{
-    cesm_like, hurricane_like, miranda_like, nyx_like, rtm_like, scale_letkf_like,
-    time_series_like,
+    cesm_like, hurricane_like, miranda_like, nyx_like, rtm_like, scale_letkf_like, time_series_like,
 };
 
 use qoz_tensor::{NdArray, Shape};
@@ -195,6 +194,9 @@ mod tests {
                 max_step = max_step.max((w[1] - w[0]).abs() as f64);
             }
         }
-        assert!(max_step < 0.35 * range, "max step {max_step}, range {range}");
+        assert!(
+            max_step < 0.35 * range,
+            "max step {max_step}, range {range}"
+        );
     }
 }

@@ -100,7 +100,11 @@ pub fn fbm(seed: u64, pos: &[f64], p: &FbmParams) -> f64 {
         for d in 0..pos.len() {
             scaled[d] = pos[d] * freq;
         }
-        total += amp * value_noise(seed.wrapping_add(o as u64 * 0x632B_E59B), &scaled[..pos.len()]);
+        total += amp
+            * value_noise(
+                seed.wrapping_add(o as u64 * 0x632B_E59B),
+                &scaled[..pos.len()],
+            );
         amp *= p.gain;
         freq *= p.lacunarity;
     }

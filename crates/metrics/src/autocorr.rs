@@ -67,7 +67,9 @@ mod tests {
 
     #[test]
     fn alternating_series_strongly_negative() {
-        let s: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let s: Vec<f64> = (0..1000)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let ac = autocorrelation(&s, 1);
         assert!(ac < -0.99, "ac {ac}");
     }
@@ -97,7 +99,9 @@ mod tests {
 
     #[test]
     fn lag_two_of_period_two_is_positive() {
-        let s: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let s: Vec<f64> = (0..1000)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(autocorrelation(&s, 2) > 0.99);
     }
 

@@ -81,7 +81,9 @@ mod tests {
 
     #[test]
     fn psnr_orientation() {
-        let a = NdArray::from_fn(Shape::d2(32, 32), |i| (i[0] as f64 * 0.3).sin() + i[1] as f64 * 0.01);
+        let a = NdArray::from_fn(Shape::d2(32, 32), |i| {
+            (i[0] as f64 * 0.3).sin() + i[1] as f64 * 0.01
+        });
         let good = noisy(&a, 1e-6);
         let bad = noisy(&a, 1e-2);
         assert!(
@@ -92,7 +94,9 @@ mod tests {
 
     #[test]
     fn ssim_orientation() {
-        let a = NdArray::from_fn(Shape::d2(32, 32), |i| (i[0] as f64 * 0.3).sin() + i[1] as f64 * 0.01);
+        let a = NdArray::from_fn(Shape::d2(32, 32), |i| {
+            (i[0] as f64 * 0.3).sin() + i[1] as f64 * 0.01
+        });
         let good = noisy(&a, 1e-6);
         let bad = noisy(&a, 1e-1);
         assert!(
@@ -111,7 +115,7 @@ mod tests {
             *v += 0.01 * (i as f64 * 0.02).cos();
         }
         let mut white = a.clone();
-        let mut x = 0x2545F491_4F6C_DD1Du64;
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
         for v in white.as_mut_slice() {
             x ^= x << 13;
             x ^= x >> 7;
@@ -128,7 +132,10 @@ mod tests {
     fn cr_metric_constant() {
         let a = NdArray::from_fn(Shape::d1(64), |i| i[0] as f64);
         let b = noisy(&a, 0.5);
-        assert_eq!(evaluate_metric(QualityMetric::CompressionRatio, &a, &b), 0.0);
+        assert_eq!(
+            evaluate_metric(QualityMetric::CompressionRatio, &a, &b),
+            0.0
+        );
     }
 
     #[test]

@@ -75,7 +75,9 @@ mod tests {
 
     #[test]
     fn report_consistent_with_individual_metrics() {
-        let a = NdArray::from_fn(Shape::d2(32, 32), |i| ((i[0] * 32 + i[1]) as f64 * 0.01).sin());
+        let a = NdArray::from_fn(Shape::d2(32, 32), |i| {
+            ((i[0] * 32 + i[1]) as f64 * 0.01).sin()
+        });
         let mut b = a.clone();
         for (k, v) in b.as_mut_slice().iter_mut().enumerate() {
             *v += if k % 3 == 0 { 1e-4 } else { -1e-4 };

@@ -113,7 +113,12 @@ mod tests {
             let abs = bound.absolute(&data);
             let blob = Mgard.compress_typed(&data, bound);
             let recon = Mgard.decompress_typed::<f32>(&blob).unwrap();
-            assert_eq!(verify_error_bound(&data, &recon, abs), None, "{}", ds.name());
+            assert_eq!(
+                verify_error_bound(&data, &recon, abs),
+                None,
+                "{}",
+                ds.name()
+            );
         }
     }
 

@@ -168,7 +168,10 @@ mod tests {
 
         let par = compress_chunks(&c, &chunks, bound, 4);
         // Serial reference.
-        let ser: Vec<Vec<u8>> = chunks.iter().map(|ch| c.compress_typed(ch, bound)).collect();
+        let ser: Vec<Vec<u8>> = chunks
+            .iter()
+            .map(|ch| c.compress_typed(ch, bound))
+            .collect();
         assert_eq!(par, ser, "parallel compression must be deterministic");
 
         let recon = decompress_chunks::<f32, _>(&c, &par, 4).unwrap();

@@ -27,8 +27,7 @@ pub enum InterpKind {
 
 impl InterpKind {
     /// All kernel candidates considered by the QoZ level selector.
-    pub const ALL: [InterpKind; 3] =
-        [InterpKind::Linear, InterpKind::Cubic, InterpKind::Quadratic];
+    pub const ALL: [InterpKind; 3] = [InterpKind::Linear, InterpKind::Cubic, InterpKind::Quadratic];
 
     /// Short display name.
     pub fn name(self) -> &'static str {
@@ -158,7 +157,11 @@ mod tests {
         let f = |p: f64| 0.5 * p * p * p - 2.0 * p * p + 3.0 * p - 1.0;
         let v = move |p: usize| f(p as f64);
         let pred = predict_line(InterpKind::Cubic, 3, 1, 7, v);
-        assert!((pred - f(3.0)).abs() < 1e-12, "pred {pred} expect {}", f(3.0));
+        assert!(
+            (pred - f(3.0)).abs() < 1e-12,
+            "pred {pred} expect {}",
+            f(3.0)
+        );
     }
 
     #[test]
@@ -210,7 +213,11 @@ mod tests {
         let v = move |p: usize| f(p as f64);
         // x=3, s=1, n=5: uses {0, 2, 4}.
         let pred = predict_line(InterpKind::Quadratic, 3, 1, 5, v);
-        assert!((pred - f(3.0)).abs() < 1e-12, "pred {pred} expect {}", f(3.0));
+        assert!(
+            (pred - f(3.0)).abs() < 1e-12,
+            "pred {pred} expect {}",
+            f(3.0)
+        );
     }
 
     #[test]

@@ -29,8 +29,16 @@ pub fn lorenzo_predict<T: Scalar>(data: &[T], shape: Shape, idx: &[usize]) -> f6
         }
         2 => {
             let (i, j) = (idx[0], idx[1]);
-            let a = if i >= 1 { at(data, shape, &[i - 1, j]) } else { 0.0 };
-            let b = if j >= 1 { at(data, shape, &[i, j - 1]) } else { 0.0 };
+            let a = if i >= 1 {
+                at(data, shape, &[i - 1, j])
+            } else {
+                0.0
+            };
+            let b = if j >= 1 {
+                at(data, shape, &[i, j - 1])
+            } else {
+                0.0
+            };
             let c = if i >= 1 && j >= 1 {
                 at(data, shape, &[i - 1, j - 1])
             } else {
@@ -47,8 +55,7 @@ pub fn lorenzo_predict<T: Scalar>(data: &[T], shape: Shape, idx: &[usize]) -> f6
                     0.0
                 }
             };
-            g(1, 0, 0) + g(0, 1, 0) + g(0, 0, 1) - g(1, 1, 0) - g(1, 0, 1) - g(0, 1, 1)
-                + g(1, 1, 1)
+            g(1, 0, 0) + g(0, 1, 0) + g(0, 0, 1) - g(1, 1, 0) - g(1, 0, 1) - g(0, 1, 1) + g(1, 1, 1)
         }
         _ => {
             // 4D inclusion-exclusion, expressed recursively over subsets.
@@ -134,7 +141,9 @@ mod tests {
     fn lorenzo_2d_exact_for_bilinear() {
         // f(i,j) = 2i + 3j + 5: the 2D Lorenzo predictor reproduces any
         // function of the form a*i + b*j + c exactly (away from borders).
-        let a = NdArray::from_fn(Shape::d2(8, 8), |i| 2.0 * i[0] as f64 + 3.0 * i[1] as f64 + 5.0);
+        let a = NdArray::from_fn(Shape::d2(8, 8), |i| {
+            2.0 * i[0] as f64 + 3.0 * i[1] as f64 + 5.0
+        });
         for i in 1..8 {
             for j in 1..8 {
                 let p = lorenzo_predict(a.as_slice(), a.shape(), &[i, j]);
@@ -166,7 +175,10 @@ mod tests {
         // (1,0): only i-neighbour exists.
         assert_eq!(lorenzo_predict(a.as_slice(), a.shape(), &[1, 0]), 1.0);
         // (1,1): full stencil.
-        assert_eq!(lorenzo_predict(a.as_slice(), a.shape(), &[1, 1]), 2.0 + 3.0 - 1.0);
+        assert_eq!(
+            lorenzo_predict(a.as_slice(), a.shape(), &[1, 1]),
+            2.0 + 3.0 - 1.0
+        );
     }
 
     #[test]
@@ -195,14 +207,16 @@ mod tests {
             }
         }
         let p1 = lorenzo_predict(a.as_slice(), a.shape(), &[4, 4]);
-        assert!((p1 - a.get(&[4, 4])).abs() > 0.1, "order-1 should miss the cross term");
+        assert!(
+            (p1 - a.get(&[4, 4])).abs() > 0.1,
+            "order-1 should miss the cross term"
+        );
     }
 
     #[test]
     fn lorenzo2_3d_exact_for_trilinear() {
         let a = NdArray::from_fn(Shape::d3(6, 6, 6), |i| {
-            1.0 + i[0] as f64 - 2.0 * i[1] as f64 + 0.5 * i[2] as f64
-                + 0.25 * (i[0] * i[1]) as f64
+            1.0 + i[0] as f64 - 2.0 * i[1] as f64 + 0.5 * i[2] as f64 + 0.25 * (i[0] * i[1]) as f64
         });
         for i in 2..6 {
             for j in 2..6 {
@@ -218,9 +232,7 @@ mod tests {
     fn generic_4d_matches_3d_formula_on_3d_slice() {
         // Compare the subset-mask fallback against the explicit 3D stencil
         // by embedding a 3D array as 4D with a singleton leading dim.
-        let a3 = NdArray::from_fn(Shape::d3(4, 4, 4), |i| {
-            (i[0] * 16 + i[1] * 4 + i[2]) as f64
-        });
+        let a3 = NdArray::from_fn(Shape::d3(4, 4, 4), |i| (i[0] * 16 + i[1] * 4 + i[2]) as f64);
         let a4 = NdArray::from_vec(Shape::new(&[1, 4, 4, 4]), a3.as_slice().to_vec());
         for i in 1..4 {
             for j in 1..4 {

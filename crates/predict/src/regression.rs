@@ -62,7 +62,12 @@ impl RegressionModel {
             })
             .collect();
         // Express the intercept at local origin for cheap evaluation.
-        let intercept = vmean - slopes.iter().zip(&coord_mean).map(|(s, m)| s * m).sum::<f64>();
+        let intercept = vmean
+            - slopes
+                .iter()
+                .zip(&coord_mean)
+                .map(|(s, m)| s * m)
+                .sum::<f64>();
         RegressionModel { intercept, slopes }
     }
 

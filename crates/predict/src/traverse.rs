@@ -41,9 +41,7 @@ pub fn base_stride(level: u32) -> usize {
 pub fn for_each_base_point(shape: Shape, stride: usize, mut f: impl FnMut(usize)) {
     assert!(stride > 0);
     let nd = shape.ndim();
-    let counts: Vec<usize> = (0..nd)
-        .map(|d| (shape.dim(d) - 1) / stride + 1)
-        .collect();
+    let counts: Vec<usize> = (0..nd).map(|d| (shape.dim(d) - 1) / stride + 1).collect();
     let grid = Shape::new(&counts);
     for gidx in grid.indices() {
         let mut off = 0;
@@ -208,10 +206,7 @@ mod tests {
             for off in full_traversal_offsets(shape, cfg, l) {
                 seen[off] += 1;
             }
-            assert!(
-                seen.iter().all(|&c| c == 1),
-                "coverage failure for {cfg:?}"
-            );
+            assert!(seen.iter().all(|&c| c == 1), "coverage failure for {cfg:?}");
         }
     }
 
@@ -310,13 +305,8 @@ mod tests {
         let shape = Shape::d2(9, 9);
         let l = max_level(shape);
         let cfg = LevelConfig::default();
-        let total: usize = (1..=l)
-            .map(|lev| level_point_count(shape, lev, cfg))
-            .sum();
-        assert_eq!(
-            total + base_point_count(shape, base_stride(l)),
-            shape.len()
-        );
+        let total: usize = (1..=l).map(|lev| level_point_count(shape, lev, cfg)).sum();
+        assert_eq!(total + base_point_count(shape, base_stride(l)), shape.len());
     }
 
     #[test]

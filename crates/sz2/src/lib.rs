@@ -117,9 +117,7 @@ impl Sz2 {
                 let off = shape.offset(&gidx[..nd]);
                 let pred = match choice {
                     BlockPredictor::Regression => model.predict(&local[..nd]),
-                    BlockPredictor::Lorenzo => {
-                        lorenzo_predict(work.as_slice(), shape, &gidx[..nd])
-                    }
+                    BlockPredictor::Lorenzo => lorenzo_predict(work.as_slice(), shape, &gidx[..nd]),
                     BlockPredictor::Lorenzo2 => {
                         lorenzo2_predict(work.as_slice(), shape, &gidx[..nd])
                     }
@@ -331,7 +329,12 @@ mod tests {
             let abs = bound.absolute(&data);
             let blob = Sz2::default().compress_typed(&data, bound);
             let recon = Sz2::default().decompress_typed::<f32>(&blob).unwrap();
-            assert_eq!(verify_error_bound(&data, &recon, abs), None, "{}", ds.name());
+            assert_eq!(
+                verify_error_bound(&data, &recon, abs),
+                None,
+                "{}",
+                ds.name()
+            );
         }
     }
 
@@ -372,14 +375,18 @@ mod tests {
         let data = NdArray::from_fn(Shape::d2(30, 30), |i| (i[0] * i[1]) as f32);
         let blob = Sz2::default().compress_typed(&data, ErrorBound::Abs(1e-2));
         for cut in [5, blob.len() / 3, blob.len() - 1] {
-            assert!(Sz2::default().decompress_typed::<f32>(&blob[..cut]).is_err());
+            assert!(Sz2::default()
+                .decompress_typed::<f32>(&blob[..cut])
+                .is_err());
         }
     }
 
     #[test]
     fn custom_block_side_roundtrip() {
         let data = Dataset::CesmAtm.generate(SizeClass::Tiny, 1);
-        let sz2 = Sz2 { block_side: Some(9) };
+        let sz2 = Sz2 {
+            block_side: Some(9),
+        };
         let blob = sz2.compress_typed(&data, ErrorBound::Rel(1e-3));
         let recon = sz2.decompress_typed::<f32>(&blob).unwrap();
         let abs = ErrorBound::Rel(1e-3).absolute(&data);

@@ -250,9 +250,14 @@ mod tests {
             InterpSpec::anchored(8, 1e-3, LevelConfig::default()),
         ] {
             let out = compress_with_spec(&data, &spec);
-            let recon =
-                decompress_with_spec::<f64>(data.shape(), &spec, &out.bins, &out.unpred, &out.anchors)
-                    .unwrap();
+            let recon = decompress_with_spec::<f64>(
+                data.shape(),
+                &spec,
+                &out.bins,
+                &out.unpred,
+                &out.anchors,
+            )
+            .unwrap();
             assert_eq!(out.recon.as_slice(), recon.as_slice(), "spec {spec:?}");
         }
     }
@@ -298,14 +303,10 @@ mod tests {
         let spec = InterpSpec::sz3(data.shape(), 1e-3, LevelConfig::default());
         let out = compress_with_spec(&data, &spec);
         let short = &out.bins[..out.bins.len() - 1];
-        assert!(decompress_with_spec::<f64>(
-            data.shape(),
-            &spec,
-            short,
-            &out.unpred,
-            &out.anchors
-        )
-        .is_err());
+        assert!(
+            decompress_with_spec::<f64>(data.shape(), &spec, short, &out.unpred, &out.anchors)
+                .is_err()
+        );
     }
 
     #[test]
@@ -315,14 +316,10 @@ mod tests {
         let out = compress_with_spec(&data, &spec);
         let mut long = out.bins.clone();
         long.push(32768);
-        assert!(decompress_with_spec::<f64>(
-            data.shape(),
-            &spec,
-            &long,
-            &out.unpred,
-            &out.anchors
-        )
-        .is_err());
+        assert!(
+            decompress_with_spec::<f64>(data.shape(), &spec, &long, &out.unpred, &out.anchors)
+                .is_err()
+        );
     }
 
     #[test]

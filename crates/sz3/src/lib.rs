@@ -163,13 +163,21 @@ mod tests {
         let data = NdArray::from_fn(Shape::d2(32, 32), |i| (i[0] * i[1]) as f32);
         let blob = Sz3::default().compress_typed(&data, ErrorBound::Abs(1e-2));
         for cut in [5, blob.len() / 2, blob.len() - 1] {
-            assert!(Sz3::default().decompress_typed::<f32>(&blob[..cut]).is_err());
+            assert!(Sz3::default()
+                .decompress_typed::<f32>(&blob[..cut])
+                .is_err());
         }
     }
 
     #[test]
     fn tiny_arrays_roundtrip() {
-        for dims in [vec![1usize], vec![2], vec![3, 1], vec![1, 1, 1], vec![2, 2, 2]] {
+        for dims in [
+            vec![1usize],
+            vec![2],
+            vec![3, 1],
+            vec![1, 1, 1],
+            vec![2, 2, 2],
+        ] {
             let shape = Shape::new(&dims);
             let data = NdArray::from_fn(shape, |i| (i[0] + 1) as f32 * 1.5);
             let blob = Sz3::default().compress_typed(&data, ErrorBound::Abs(1e-4));

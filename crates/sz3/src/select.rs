@@ -52,7 +52,11 @@ pub fn select_global_interp<T: Scalar>(data: &NdArray<T>, abs_eb: f64) -> LevelC
             sum += out.sum_abs_pred_err;
             count += out.pred_count;
         }
-        let err = if count == 0 { f64::INFINITY } else { sum / count as f64 };
+        let err = if count == 0 {
+            f64::INFINITY
+        } else {
+            sum / count as f64
+        };
         if err < best_err {
             best_err = err;
             best = cand;

@@ -71,10 +71,7 @@ impl InterpSpec {
     /// Smallest per-level bound (used to encode base points in
     /// unanchored mode so their error never exceeds any level's bound).
     pub fn tightest_eb(&self) -> f64 {
-        self.level_ebs
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min)
+        self.level_ebs.iter().copied().fold(f64::INFINITY, f64::min)
     }
 
     /// Serialize.

@@ -35,7 +35,10 @@ impl SamplePlan {
     /// above the requested rate, which only makes tuning more accurate.
     pub fn from_rate(shape: Shape, block: usize, rate: f64) -> Self {
         assert!(block > 0, "block size must be positive");
-        assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0,1], got {rate}");
+        assert!(
+            rate > 0.0 && rate <= 1.0,
+            "rate must be in (0,1], got {rate}"
+        );
         let nd = shape.ndim();
         let total = shape.len() as f64;
         let block_pts = (block as f64).powi(nd as i32);
@@ -51,7 +54,10 @@ impl SamplePlan {
             }
             // Cap so blocks stay pairwise disjoint along this axis.
             let max_disjoint = ext / block;
-            let count = per_dim_target.clamp(1, max_disjoint).max(2.min(max_disjoint)).max(1);
+            let count = per_dim_target
+                .clamp(1, max_disjoint)
+                .max(2.min(max_disjoint))
+                .max(1);
             let span = ext - block; // last valid origin
             let mut origins = Vec::with_capacity(count);
             if count == 1 {
@@ -217,10 +223,7 @@ mod tests {
         assert_eq!(blocks.len(), plan.regions.len());
         for (b, r) in blocks.iter().zip(&plan.regions) {
             assert_eq!(b.shape().dims(), r.size());
-            assert_eq!(
-                b.get(&[0, 0]),
-                data.get(&[r.origin()[0], r.origin()[1]])
-            );
+            assert_eq!(b.get(&[0, 0]), data.get(&[r.origin()[0], r.origin()[1]]));
         }
     }
 

@@ -123,7 +123,7 @@ mod tests {
 
     #[test]
     fn f64_roundtrip_bytes() {
-        let v: f64 = 3.141592653589793;
+        let v: f64 = std::f64::consts::PI;
         let bytes = v.to_le_bytes_vec();
         assert_eq!(bytes.len(), f64::BYTES);
         assert_eq!(f64::from_le_slice(&bytes), v);

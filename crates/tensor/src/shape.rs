@@ -215,10 +215,7 @@ mod tests {
     fn index_iter_visits_all_in_order() {
         let s = Shape::d2(2, 3);
         let v: Vec<_> = s.indices().map(|i| (i[0], i[1])).collect();
-        assert_eq!(
-            v,
-            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
-        );
+        assert_eq!(v, vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]);
     }
 
     #[test]

@@ -110,7 +110,9 @@ mod tests {
 
     #[test]
     fn lossless_when_all_planes_kept() {
-        let coeffs = vec![0, 5, -3, 127, -128, 1, 0, -1, 4096, -4095, 2, 2, -2, 99, 7, -7];
+        let coeffs = vec![
+            0, 5, -3, 127, -128, 1, 0, -1, 4096, -4095, 2, 2, -2, 99, 7, -7,
+        ];
         assert_eq!(roundtrip(&coeffs, 0), coeffs);
     }
 

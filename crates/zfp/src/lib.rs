@@ -118,8 +118,9 @@ impl Zfp {
             let mut k = (eb_int.log2().floor() as i32).clamp(-1, nb);
             loop {
                 let keep_low = (k + 1).max(0) as u32;
-                if verify_block::<T>(&coeffs, keep_low, nb as u32, &perm, nd, &vals, scale, abs_eb)
-                {
+                if verify_block::<T>(
+                    &coeffs, keep_low, nb as u32, &perm, nd, &vals, scale, abs_eb,
+                ) {
                     break;
                 }
                 if k < 0 {
@@ -369,7 +370,11 @@ mod tests {
     fn zero_blocks_cost_almost_nothing() {
         let data = NdArray::<f32>::zeros(Shape::d2(64, 64));
         let blob = Zfp.compress_typed(&data, ErrorBound::Abs(1e-3));
-        assert!(blob.len() < 200, "all-zero input should be tiny: {}", blob.len());
+        assert!(
+            blob.len() < 200,
+            "all-zero input should be tiny: {}",
+            blob.len()
+        );
         let recon = Zfp.decompress_typed::<f32>(&blob).unwrap();
         assert!(recon.as_slice().iter().all(|&v| v == 0.0));
     }

@@ -8,7 +8,7 @@
 //! ```
 
 use qoz_suite::datagen::{Dataset, SizeClass};
-use qoz_suite::qoz::{QualityTarget, Qoz};
+use qoz_suite::qoz::{Qoz, QualityTarget};
 
 fn main() {
     let qoz = Qoz::default();

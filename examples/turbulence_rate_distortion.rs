@@ -11,6 +11,9 @@ use qoz_suite::datagen::{Dataset, SizeClass};
 use qoz_suite::metrics::{self, QualityMetric};
 use qoz_suite::tensor::NdArray;
 
+/// A compressor adapted to return `(blob, reconstruction)` in one call.
+type RoundtripFn = Box<dyn Fn(&NdArray<f32>, ErrorBound) -> (Vec<u8>, NdArray<f32>)>;
+
 fn main() {
     let data = Dataset::Miranda.generate(SizeClass::Small, 0);
     println!(
@@ -23,7 +26,7 @@ fn main() {
     );
 
     // The five compressors of the paper's evaluation; QoZ tuned for PSNR.
-    let compressors: Vec<(&str, Box<dyn Fn(&NdArray<f32>, ErrorBound) -> (Vec<u8>, NdArray<f32>)>)> = vec![
+    let compressors: Vec<(&str, RoundtripFn)> = vec![
         ("SZ2.1", boxed(qoz_suite::sz2::Sz2::default())),
         ("SZ3", boxed(qoz_suite::sz3::Sz3::default())),
         ("ZFP", boxed(qoz_suite::zfp::Zfp)),
@@ -54,9 +57,7 @@ fn main() {
 }
 
 /// Adapt any `Compressor<f32>` into a closure producing (blob, recon).
-fn boxed<C: Compressor<f32> + 'static>(
-    c: C,
-) -> Box<dyn Fn(&NdArray<f32>, ErrorBound) -> (Vec<u8>, NdArray<f32>)> {
+fn boxed<C: Compressor<f32> + 'static>(c: C) -> RoundtripFn {
     Box::new(move |data, bound| {
         let blob = c.compress(data, bound);
         let recon = c.decompress(&blob).expect("self-produced blob");

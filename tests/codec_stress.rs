@@ -76,7 +76,9 @@ fn bins_with_all_identical_values_compress_hugely() {
 
 #[test]
 fn alternating_bins_roundtrip() {
-    let bins: Vec<u32> = (0..100_000).map(|i| if i % 2 == 0 { 32768 } else { 32769 }).collect();
+    let bins: Vec<u32> = (0..100_000)
+        .map(|i| if i % 2 == 0 { 32768 } else { 32769 })
+        .collect();
     let blob = encode_bins(&bins);
     assert_eq!(decode_bins(&blob).unwrap(), bins);
     // 1 bit/symbol + LZSS on top: far below raw.

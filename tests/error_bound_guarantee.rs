@@ -15,7 +15,9 @@ fn all_compressors() -> Vec<(&'static str, Box<dyn Compressor<f32>>)> {
         ("MGARD+", Box::new(qoz_suite::mgard::Mgard)),
         (
             "QoZ",
-            Box::new(qoz_suite::qoz::Qoz::for_metric(QualityMetric::CompressionRatio)),
+            Box::new(qoz_suite::qoz::Qoz::for_metric(
+                QualityMetric::CompressionRatio,
+            )),
         ),
     ]
 }
@@ -30,7 +32,10 @@ fn every_compressor_respects_every_bound_on_every_dataset() {
             for (name, c) in all_compressors() {
                 let blob = c.compress(&data, bound);
                 let recon = c.decompress(&blob).unwrap_or_else(|e| {
-                    panic!("{name} failed to decode its own stream on {}: {e}", ds.name())
+                    panic!(
+                        "{name} failed to decode its own stream on {}: {e}",
+                        ds.name()
+                    )
                 });
                 assert_eq!(recon.shape(), data.shape());
                 assert_eq!(
@@ -50,7 +55,10 @@ fn absolute_bounds_respected_for_f64() {
     // Promote to f64 with extra precision demands.
     let data64 = NdArray::from_vec(
         data.shape(),
-        data.as_slice().iter().map(|&v| v as f64 * 1.000001).collect(),
+        data.as_slice()
+            .iter()
+            .map(|&v| v as f64 * 1.000001)
+            .collect(),
     );
     let abs = 1e-7 * data64.value_range();
     let compressors: Vec<(&str, Box<dyn Compressor<f64>>)> = vec![
@@ -100,11 +108,17 @@ fn extreme_bounds_still_hold() {
         let blob = c.compress(&data, ErrorBound::Rel(0.25));
         let recon = c.decompress(&blob).unwrap();
         let abs = ErrorBound::Rel(0.25).absolute(&data);
-        assert!(data.max_abs_diff(&recon) <= abs * (1.0 + 1e-9), "{name} loose");
+        assert!(
+            data.max_abs_diff(&recon) <= abs * (1.0 + 1e-9),
+            "{name} loose"
+        );
         // Very tight: near-lossless.
         let blob = c.compress(&data, ErrorBound::Rel(1e-7));
         let recon = c.decompress(&blob).unwrap();
         let abs = ErrorBound::Rel(1e-7).absolute(&data);
-        assert!(data.max_abs_diff(&recon) <= abs * (1.0 + 1e-9), "{name} tight");
+        assert!(
+            data.max_abs_diff(&recon) <= abs * (1.0 + 1e-9),
+            "{name} tight"
+        );
     }
 }

@@ -139,11 +139,14 @@ fn mixed_magnitude_fields_respect_bound() {
 fn single_row_and_column_shapes() {
     // Degenerate 2D/3D shapes exercise the dimension-skip logic in the
     // traversal and the block tilers.
-    for dims in [vec![1usize, 64], vec![64, 1], vec![1, 1, 64], vec![64, 1, 1]] {
+    for dims in [
+        vec![1usize, 64],
+        vec![64, 1],
+        vec![1, 1, 64],
+        vec![64, 1, 1],
+    ] {
         let shape = Shape::new(&dims);
-        let data = NdArray::from_fn(shape, |i| {
-            (i.iter().sum::<usize>() as f32 * 0.21).sin()
-        });
+        let data = NdArray::from_fn(shape, |i| (i.iter().sum::<usize>() as f32 * 0.21).sin());
         for (name, c) in compressors() {
             let blob = c.compress(&data, ErrorBound::Abs(1e-3));
             let recon = c.decompress(&blob).unwrap();

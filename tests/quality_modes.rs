@@ -21,8 +21,16 @@ fn ac_mode_improves_or_matches_autocorrelation() {
     for ds in [Dataset::Miranda, Dataset::CesmAtm] {
         let data = ds.generate(SizeClass::Tiny, 0);
         let bound = ErrorBound::Rel(1e-3);
-        let (_, recon_cr) = run(&Qoz::for_metric(QualityMetric::CompressionRatio), &data, bound);
-        let (_, recon_ac) = run(&Qoz::for_metric(QualityMetric::AutoCorrelation), &data, bound);
+        let (_, recon_cr) = run(
+            &Qoz::for_metric(QualityMetric::CompressionRatio),
+            &data,
+            bound,
+        );
+        let (_, recon_ac) = run(
+            &Qoz::for_metric(QualityMetric::AutoCorrelation),
+            &data,
+            bound,
+        );
         let ac_cr = metrics::error_autocorrelation(&data, &recon_cr, 1).abs();
         let ac_ac = metrics::error_autocorrelation(&data, &recon_ac, 1).abs();
         assert!(
@@ -38,7 +46,11 @@ fn psnr_mode_never_much_worse_than_cr_mode_on_psnr() {
     let data = Dataset::Nyx.generate(SizeClass::Tiny, 0);
     let bound = ErrorBound::Rel(1e-3);
     let (_, recon_psnr) = run(&Qoz::for_metric(QualityMetric::Psnr), &data, bound);
-    let (_, recon_cr) = run(&Qoz::for_metric(QualityMetric::CompressionRatio), &data, bound);
+    let (_, recon_cr) = run(
+        &Qoz::for_metric(QualityMetric::CompressionRatio),
+        &data,
+        bound,
+    );
     let p_psnr = metrics::psnr(&data, &recon_psnr);
     let p_cr = metrics::psnr(&data, &recon_cr);
     assert!(
@@ -53,7 +65,11 @@ fn autotuning_at_least_matches_worst_fixed_setting() {
     // never exceed the worst fixed candidate's by more than noise.
     let data = Dataset::CesmAtm.generate(SizeClass::Tiny, 1);
     let bound = ErrorBound::Rel(1e-3);
-    let (auto_bits, _) = run(&Qoz::for_metric(QualityMetric::CompressionRatio), &data, bound);
+    let (auto_bits, _) = run(
+        &Qoz::for_metric(QualityMetric::CompressionRatio),
+        &data,
+        bound,
+    );
     let mut fixed_bits = Vec::new();
     for (a, b) in [(1.0, 1.0), (1.5, 3.0), (2.0, 4.0)] {
         let qoz = Qoz::new(QozConfig {
@@ -109,5 +125,8 @@ fn ablation_ladder_rate_psnr_never_collapses() {
             qoz_wins += 1;
         }
     }
-    assert!(qoz_wins >= 1, "full QoZ never beat the anchors-only variant");
+    assert!(
+        qoz_wins >= 1,
+        "full QoZ never beat the anchors-only variant"
+    );
 }

@@ -18,9 +18,12 @@ fn print_cr_comparison() {
             let raw = (data.len() * 4) as f64;
             println!(
                 "{:12} eps={:.0e}  SZ3 CR={:7.1} ({:5.0} ms)   QoZ CR={:7.1} ({:5.0} ms)",
-                ds.name(), eps,
-                raw / sz3.len() as f64, t_sz3.as_millis(),
-                raw / qoz.len() as f64, t_qoz.as_millis()
+                ds.name(),
+                eps,
+                raw / sz3.len() as f64,
+                t_sz3.as_millis(),
+                raw / qoz.len() as f64,
+                t_qoz.as_millis()
             );
         }
     }

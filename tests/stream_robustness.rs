@@ -71,7 +71,10 @@ fn single_byte_corruptions_never_panic() {
 fn garbage_input_rejected() {
     for (name, c) in compressors() {
         assert!(c.decompress(&[]).is_err(), "{name} accepted empty");
-        assert!(c.decompress(b"not a stream").is_err(), "{name} accepted garbage");
+        assert!(
+            c.decompress(b"not a stream").is_err(),
+            "{name} accepted garbage"
+        );
         let zeros = vec![0u8; 1024];
         assert!(c.decompress(&zeros).is_err(), "{name} accepted zeros");
     }

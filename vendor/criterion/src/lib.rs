@@ -1,0 +1,228 @@
+//! Minimal stand-in for the `criterion` crate (offline build).
+//!
+//! Provides the macro/entry-point surface the workspace benches use and
+//! a simple timing loop: each benchmark runs `sample_size` samples and
+//! prints the mean wall-clock time per iteration (plus derived
+//! throughput when set). No statistics, HTML reports, or baselines.
+
+use std::fmt::{self, Display};
+use std::time::Instant;
+
+/// Opaque measurement driver handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: usize,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `f`, running it `samples` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call keeps first-touch page faults and lazy init
+        // out of the measurement.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        self.mean_ns = total.as_nanos() as f64 / self.samples as f64;
+    }
+}
+
+/// Opaque hint preventing the optimizer from deleting a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier composing a function name and a parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `new("huffman", "miranda")` → `huffman/miranda`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        let sample_size = self.sample_size;
+        run_one(&id.to_string(), sample_size, None, f);
+    }
+}
+
+/// Group of related benchmarks sharing throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set per-iteration throughput for derived rate reporting.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0);
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmark a closure under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, self.throughput, f);
+    }
+
+    /// Benchmark a closure that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, self.throughput, |b| f(b, input));
+    }
+
+    /// Finish the group (marker for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples,
+        mean_ns: 0.0,
+    };
+    f(&mut b);
+    let per_iter_s = b.mean_ns / 1e9;
+    match throughput {
+        Some(Throughput::Bytes(n)) if per_iter_s > 0.0 => {
+            let mibs = n as f64 / per_iter_s / (1024.0 * 1024.0);
+            println!("{name:<48} {:>12.1} ns/iter  {mibs:>10.1} MiB/s", b.mean_ns);
+        }
+        Some(Throughput::Elements(n)) if per_iter_s > 0.0 => {
+            let meps = n as f64 / per_iter_s / 1e6;
+            println!(
+                "{name:<48} {:>12.1} ns/iter  {meps:>10.1} Melem/s",
+                b.mean_ns
+            );
+        }
+        _ => println!("{name:<48} {:>12.1} ns/iter", b.mean_ns),
+    }
+}
+
+/// Declare a benchmark group: either the short form
+/// `criterion_group!(benches, f1, f2)` or the configured form with
+/// `name = …; config = …; targets = …`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `fn main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("sum", |b| b.iter(|| (0..4u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("id", 7), &7u64, |b, &n| b.iter(|| n * 2));
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = trivial
+    }
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

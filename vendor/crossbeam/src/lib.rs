@@ -1,0 +1,55 @@
+//! Minimal stand-in for the `crossbeam` crate (offline build).
+//!
+//! Implements only `crossbeam::scope` scoped threads on top of
+//! `std::thread::scope`. One behavioural difference: a panicking child
+//! thread propagates as a panic from `scope` instead of an `Err` —
+//! every caller in this workspace immediately `.expect()`s the result,
+//! so the observable behaviour (a panic with the same message origin)
+//! is equivalent.
+
+use std::any::Any;
+
+/// Handle passed to the `scope` closure; spawns scoped threads.
+#[derive(Debug, Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives the scope handle so
+    /// workers can themselves spawn (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Run `f` with a scope handle; all spawned threads are joined before
+/// this returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_join_and_share_stack_data() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+}

@@ -1,0 +1,204 @@
+//! Minimal, deterministic stand-in for the `proptest` crate (offline
+//! build).
+//!
+//! Implements the surface this workspace uses: the [`proptest!`] test
+//! macro with `#![proptest_config(...)]`, strategies over numeric
+//! ranges, tuples, [`strategy::Just`], `any::<T>()`,
+//! [`collection::vec`], the `prop_map`/`prop_flat_map` combinators, the
+//! weighted [`prop_oneof!`] union, and the `prop_assert!` family.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - Sampling is **deterministic**: every test derives its RNG seed
+//!   from the test's name (FNV-1a hash), so runs are reproducible
+//!   across machines with no persistence files.
+//! - No shrinking. A failing case panics with the case index and the
+//!   assertion message; re-running reproduces it exactly.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// Strategy producing `Vec<S::Value>` with a length drawn from
+    /// `size` (a fixed `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy::new(element, size.into())
+    }
+}
+
+pub mod arbitrary {
+    //! The [`Arbitrary`] trait: types with a canonical strategy.
+
+    use crate::strategy::ArbitraryStrategy;
+    use crate::test_runner::Rng;
+
+    /// Types that can be generated from nothing but an RNG.
+    pub trait Arbitrary: Sized {
+        /// Draw a uniformly-distributed value.
+        fn arbitrary_value(rng: &mut Rng) -> Self;
+    }
+
+    /// The canonical strategy for `T` (mirrors `proptest::arbitrary::any`).
+    pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+        ArbitraryStrategy::new()
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut Rng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut Rng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary_value(rng: &mut Rng) -> Self {
+            (rng.unit_f64() * 2.0 - 1.0) as f32 * 1e6
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut Rng) -> Self {
+            (rng.unit_f64() * 2.0 - 1.0) * 1e12
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `proptest::prelude::*`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Weighted union of strategies with a common value type.
+///
+/// `prop_oneof![a, b]` gives equal weights; `prop_oneof![3 => a, 1 => b]`
+/// draws `a` three times as often.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Assert inside a `proptest!` body; failure aborts the case with a
+/// message instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                l, r
+            )));
+        }
+    }};
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples `cases` inputs deterministically and
+/// runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::Rng::from_seed_phrase(
+                    stringify!($name),
+                    cfg.rng_seed,
+                );
+                for case in 0..cfg.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut rng);)+
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest {}: case {}/{} failed: {}\ninputs: {}",
+                            stringify!($name),
+                            case + 1,
+                            cfg.cases,
+                            e,
+                            inputs,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
