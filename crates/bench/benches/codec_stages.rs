@@ -3,7 +3,7 @@
 //! the layers every compressor shares.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use qoz_codec::{encode_bins, lossless_compress, LinearQuantizer};
+use qoz_codec::{decode_bins, encode_bins, lossless_compress, LinearQuantizer};
 use qoz_predict::{max_level, traverse_level, LevelConfig};
 use qoz_tensor::{NdArray, Shape};
 
@@ -31,6 +31,10 @@ fn stage_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("entropy");
     group.throughput(Throughput::Elements(bins.len() as u64));
     group.bench_function("encode_bins_500k", |b| b.iter(|| encode_bins(&bins)));
+    let blob = encode_bins(&bins);
+    group.bench_function("decode_bins_500k", |b| {
+        b.iter(|| decode_bins(&blob).unwrap())
+    });
     group.finish();
 
     let bytes: Vec<u8> = (0..1_000_000u32).map(|i| (i % 251) as u8).collect();

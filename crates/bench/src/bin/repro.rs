@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--size tiny|small|medium] [--out DIR]
+//!       [--bench-json PATH]
 //!
 //! experiments:
 //!   table3   Compression ratio @ same error bound (Table III)
@@ -14,11 +15,15 @@
 //!   fig12    Component ablation study (Fig. 12)
 //!   fig13    Fixed (alpha,beta) vs auto-tuning (Fig. 13)
 //!   fig14    Parallel dump/load model (Fig. 14)
-//!   all      Everything above
+//!   bench    Throughput baseline: timed compress/decompress for every
+//!            backend x dataset x bound, written as BENCH json
+//!   all      Everything above (except bench)
 //! ```
 //!
 //! Each experiment prints a paper-shaped table and writes a CSV under
-//! `--out` (default `results/`).
+//! `--out` (default `results/`). `bench` (or passing `--bench-json
+//! PATH` explicitly) writes the machine-readable throughput baseline
+//! that perf PRs are judged against.
 
 use qoz_bench::{bound_for_target_cr, evaluate, write_csv, write_pgm, AnyCompressor};
 use qoz_codec::stream::{Compressor as _, ErrorBound};
@@ -32,16 +37,18 @@ use qoz_tensor::{NdArray, Region};
 struct Opts {
     size: SizeClass,
     out: String,
+    bench_json: Option<String>,
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <table3|table4|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|all> [--size tiny|small|medium] [--out DIR]");
+        eprintln!("usage: repro <table3|table4|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|bench|all> [--size tiny|small|medium] [--out DIR] [--bench-json PATH]");
         std::process::exit(2);
     }
     let mut size = SizeClass::Small;
     let mut out = "results".to_string();
+    let mut bench_json: Option<String> = None;
     let mut exp = String::new();
     let mut i = 0;
     while i < args.len() {
@@ -62,6 +69,16 @@ fn main() {
                 i += 1;
                 out = args.get(i).cloned().unwrap_or(out);
             }
+            "--bench-json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => bench_json = Some(p.clone()),
+                    None => {
+                        eprintln!("--bench-json needs a path");
+                        std::process::exit(2);
+                    }
+                }
+            }
             e if exp.is_empty() => exp = e.to_string(),
             e => {
                 eprintln!("unexpected argument {e}");
@@ -70,7 +87,15 @@ fn main() {
         }
         i += 1;
     }
-    let opts = Opts { size, out };
+    // `--bench-json PATH` with no experiment implies the bench mode.
+    if exp.is_empty() && bench_json.is_some() {
+        exp = "bench".to_string();
+    }
+    let opts = Opts {
+        size,
+        out,
+        bench_json,
+    };
 
     match exp.as_str() {
         "table3" => table3(&opts),
@@ -83,6 +108,7 @@ fn main() {
         "fig12" => fig12(&opts),
         "fig13" => fig13(&opts),
         "fig14" => fig14(&opts),
+        "bench" => bench_throughput(&opts),
         "all" => {
             table3(&opts);
             table4(&opts);
@@ -100,6 +126,70 @@ fn main() {
             std::process::exit(2);
         }
     }
+    // An explicit --bench-json always emits the baseline, even when it
+    // rides along with another experiment.
+    if opts.bench_json.is_some() && exp != "bench" {
+        bench_throughput(&opts);
+    }
+}
+
+/// `bench`: the measured-throughput baseline every perf PR is judged
+/// against. Times one compress/decompress cycle per backend x dataset x
+/// bound and writes a machine-readable `BENCH_throughput.json`
+/// (per-entry MB/s of raw data and compression ratio).
+fn bench_throughput(o: &Opts) {
+    let path = o
+        .bench_json
+        .clone()
+        .unwrap_or_else(|| format!("{}/BENCH_throughput.json", o.out));
+    println!("\n=== bench: compression throughput baseline ===");
+    println!(
+        "{:<12} {:<8} {:>6}  {:>8} {:>10} {:>12}",
+        "Dataset", "codec", "eps", "CR", "comp MB/s", "decomp MB/s"
+    );
+    let bounds = [1e-2, 1e-3];
+    let mut entries = Vec::new();
+    for ds in Dataset::ALL {
+        let data = ds.generate(o.size, 0);
+        for c in AnyCompressor::paper_set(QualityMetric::Psnr) {
+            for eps in bounds {
+                let r = evaluate(&c, &data, ErrorBound::Rel(eps));
+                println!(
+                    "{:<12} {:<8} {:>6.0e}  {:>8.1} {:>10.1} {:>12.1}",
+                    ds.name(),
+                    c.name(),
+                    eps,
+                    r.cr,
+                    r.comp_mbps,
+                    r.decomp_mbps
+                );
+                entries.push(format!(
+                    concat!(
+                        "    {{\"backend\": \"{}\", \"dataset\": \"{}\", ",
+                        "\"points\": {}, \"eps_rel\": {:e}, \"cr\": {:.4}, ",
+                        "\"comp_mbps\": {:.3}, \"decomp_mbps\": {:.3}}}"
+                    ),
+                    c.name(),
+                    ds.name(),
+                    data.len(),
+                    eps,
+                    r.cr,
+                    r.comp_mbps,
+                    r.decomp_mbps
+                ));
+            }
+        }
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"qoz-suite/bench-throughput/v1\",\n  \"size_class\": \"{:?}\",\n  \"unit\": \"MB/s of raw f32 data\",\n  \"entries\": [\n{}\n  ]\n}}\n",
+        o.size,
+        entries.join(",\n")
+    );
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        std::fs::create_dir_all(dir).unwrap();
+    }
+    std::fs::write(&path, json).unwrap();
+    println!("-> {path}");
 }
 
 /// Table III: compression ratios under the same error bound; QoZ in

@@ -9,12 +9,16 @@
 use crate::{CodecError, Result};
 
 /// Accumulates bits into a byte buffer, MSB-first.
+///
+/// Bits are shifted into a 64-bit accumulator word and drained a byte at
+/// a time, so a multi-bit append is a couple of shifts rather than a
+/// per-bit loop.
 #[derive(Default, Debug)]
 pub struct BitWriter {
     buf: Vec<u8>,
-    /// Partially filled final byte.
-    cur: u8,
-    /// Number of valid bits in `cur` (0..8).
+    /// Pending bits, right-aligned; only the low `used` bits are valid.
+    acc: u64,
+    /// Number of valid bits in `acc` (0..8 between calls).
     used: u32,
 }
 
@@ -27,13 +31,7 @@ impl BitWriter {
     /// Append a single bit.
     #[inline]
     pub fn put_bit(&mut self, bit: bool) {
-        self.cur = (self.cur << 1) | bit as u8;
-        self.used += 1;
-        if self.used == 8 {
-            self.buf.push(self.cur);
-            self.cur = 0;
-            self.used = 0;
-        }
+        self.put_bits(bit as u64, 1);
     }
 
     /// Append the low `n` bits of `value`, most significant first.
@@ -43,8 +41,21 @@ impl BitWriter {
     #[inline]
     pub fn put_bits(&mut self, value: u64, n: u32) {
         assert!(n <= 64, "cannot write more than 64 bits at once");
-        for i in (0..n).rev() {
-            self.put_bit((value >> i) & 1 == 1);
+        if n > 32 {
+            // Split so the accumulator (holding < 8 stale bits) never
+            // overflows: 7 + 32 bits always fit in the u64.
+            self.put_bits(value >> 32, n - 32);
+            self.put_bits(value & 0xFFFF_FFFF, 32);
+            return;
+        }
+        if n == 0 {
+            return;
+        }
+        self.acc = (self.acc << n) | (value & (u64::MAX >> (64 - n)));
+        self.used += n;
+        while self.used >= 8 {
+            self.used -= 8;
+            self.buf.push((self.acc >> self.used) as u8);
         }
     }
 
@@ -56,8 +67,7 @@ impl BitWriter {
     /// Pad the final byte with zeros and return the backing buffer.
     pub fn finish(mut self) -> Vec<u8> {
         if self.used > 0 {
-            self.cur <<= 8 - self.used;
-            self.buf.push(self.cur);
+            self.buf.push((self.acc << (8 - self.used)) as u8);
         }
         self.buf
     }
@@ -94,15 +104,63 @@ impl<'a> BitReader<'a> {
         Ok((self.buf[byte] >> shift) & 1 == 1)
     }
 
+    /// The next 64 bits at the cursor, MSB-aligned, zero-padded past the
+    /// end of the buffer. One unaligned load in the common case.
+    #[inline]
+    fn peek_word(&self) -> u64 {
+        let byte = self.pos >> 3;
+        let w = if self.buf.len() - byte >= 8 {
+            u64::from_be_bytes(self.buf[byte..byte + 8].try_into().unwrap())
+        } else {
+            let mut tmp = [0u8; 8];
+            tmp[..self.buf.len() - byte].copy_from_slice(&self.buf[byte..]);
+            u64::from_be_bytes(tmp)
+        };
+        w << (self.pos & 7)
+    }
+
+    /// Look at the next `n` bits (1..=57) without consuming them,
+    /// right-aligned. Bits past the end of the buffer read as zero; pair
+    /// with [`BitReader::remaining_bits`] before trusting the tail.
+    #[inline]
+    pub fn peek_bits(&self, n: u32) -> u64 {
+        debug_assert!((1..=57).contains(&n), "peek_bits supports 1..=57 bits");
+        self.peek_word() >> (64 - n)
+    }
+
+    /// Advance the cursor by `n` bits. The caller must have checked
+    /// `remaining_bits() >= n` — violating that is a bug (asserted in
+    /// debug builds); release builds clamp the cursor to the end of the
+    /// buffer as a safety net, so subsequent reads report EOF instead of
+    /// panicking inside [`BitReader::peek_bits`].
+    #[inline]
+    pub fn consume(&mut self, n: u32) {
+        debug_assert!(self.remaining_bits() >= n as usize);
+        self.pos = (self.pos + n as usize).min(self.buf.len() * 8);
+    }
+
     /// Read `n` bits into the low bits of a `u64`, MSB-first.
     #[inline]
     pub fn get_bits(&mut self, n: u32) -> Result<u64> {
         assert!(n <= 64, "cannot read more than 64 bits at once");
-        let mut v = 0u64;
-        for _ in 0..n {
-            v = (v << 1) | self.get_bit()? as u64;
+        if self.remaining_bits() < n as usize {
+            // Drain the cursor like the old bit-by-bit loop did before
+            // reporting EOF.
+            self.pos = self.buf.len() * 8;
+            return Err(CodecError::UnexpectedEof);
         }
-        Ok(v)
+        if n == 0 {
+            return Ok(0);
+        }
+        if n <= 57 {
+            let v = self.peek_word() >> (64 - n);
+            self.pos += n as usize;
+            Ok(v)
+        } else {
+            let hi = self.get_bits(n - 32)?;
+            let lo = self.get_bits(32)?;
+            Ok((hi << 32) | lo)
+        }
     }
 }
 

@@ -113,11 +113,59 @@ fn canonical_codes(mut lengths: Vec<(u32, u32)>) -> Vec<(u32, u32, u64)> {
     out
 }
 
+/// Widest symbol range for which the encoder keeps a directly-indexed
+/// table. Quantizer bins cluster near the radius (tens of thousands), so
+/// this covers every real workload; pathological sparse alphabets fall
+/// back to a hash map.
+const DENSE_SYMBOL_SLACK: usize = 1 << 16;
+
+/// symbol -> (length, code) lookup, dense where the symbol range allows.
+#[derive(Debug, Clone)]
+enum SymbolTable {
+    /// Indexed directly by symbol value; `length == 0` marks a hole.
+    Dense(Vec<(u32, u64)>),
+    /// Fallback for sparse, wide alphabets.
+    Sparse(HashMap<u32, (u32, u64)>),
+}
+
+impl SymbolTable {
+    fn build(coded: &[(u32, u32, u64)]) -> SymbolTable {
+        let max = coded.iter().map(|&(s, _, _)| s).max().unwrap_or(0) as usize;
+        if max <= coded.len().saturating_mul(16) + DENSE_SYMBOL_SLACK {
+            let mut v = vec![(0u32, 0u64); max + 1];
+            for &(sym, len, code) in coded {
+                v[sym as usize] = (len, code);
+            }
+            SymbolTable::Dense(v)
+        } else {
+            SymbolTable::Sparse(
+                coded
+                    .iter()
+                    .map(|&(sym, len, code)| (sym, (len, code)))
+                    .collect(),
+            )
+        }
+    }
+
+    #[inline]
+    fn get(&self, sym: u32) -> Option<(u32, u64)> {
+        match self {
+            SymbolTable::Dense(v) => match v.get(sym as usize) {
+                Some(&(len, code)) if len != 0 => Some((len, code)),
+                _ => None,
+            },
+            SymbolTable::Sparse(m) => m.get(&sym).copied(),
+        }
+    }
+}
+
 /// A Huffman encoder built from symbol frequencies.
 #[derive(Debug, Clone)]
 pub struct HuffmanEncoder {
-    /// symbol -> (length, code)
-    table: HashMap<u32, (u32, u64)>,
+    table: SymbolTable,
+    /// `(symbol, length)` pairs sorted by `(length, symbol)` — the
+    /// canonical serialization order.
+    entries: Vec<(u32, u32)>,
 }
 
 impl HuffmanEncoder {
@@ -128,12 +176,30 @@ impl HuffmanEncoder {
         if symbols.is_empty() {
             return None;
         }
-        let mut freq: HashMap<u32, u64> = HashMap::new();
-        for &s in symbols {
-            *freq.entry(s).or_insert(0) += 1;
+        // Frequency counting: dense array when the symbol range is
+        // moderate (the common quantizer-bin case), hash map otherwise.
+        // Both paths yield the same symbol-sorted frequency list.
+        let max = symbols.iter().copied().max().unwrap() as usize;
+        let mut freqs: Vec<(u32, u64)>;
+        if max <= symbols.len().saturating_mul(16) + DENSE_SYMBOL_SLACK {
+            let mut counts = vec![0u64; max + 1];
+            for &s in symbols {
+                counts[s as usize] += 1;
+            }
+            freqs = counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(s, &c)| (s as u32, c))
+                .collect();
+        } else {
+            let mut freq: HashMap<u32, u64> = HashMap::new();
+            for &s in symbols {
+                *freq.entry(s).or_insert(0) += 1;
+            }
+            freqs = freq.into_iter().collect();
+            freqs.sort_unstable();
         }
-        let mut freqs: Vec<(u32, u64)> = freq.into_iter().collect();
-        freqs.sort_unstable();
 
         // Flatten the distribution until no code exceeds MAX_CODE_LEN.
         let mut lengths = code_lengths(&freqs);
@@ -144,28 +210,27 @@ impl HuffmanEncoder {
             lengths = code_lengths(&freqs);
         }
 
-        let table = canonical_codes(lengths)
-            .into_iter()
-            .map(|(sym, len, code)| (sym, (len, code)))
-            .collect();
-        Some(HuffmanEncoder { table })
+        let coded = canonical_codes(lengths);
+        let table = SymbolTable::build(&coded);
+        let entries = coded.iter().map(|&(sym, len, _)| (sym, len)).collect();
+        Some(HuffmanEncoder { table, entries })
     }
 
     /// Number of distinct symbols in the code.
     pub fn num_symbols(&self) -> usize {
-        self.table.len()
+        self.entries.len()
     }
 
     /// Code length in bits for `symbol`, if present.
     pub fn length_of(&self, symbol: u32) -> Option<u32> {
-        self.table.get(&symbol).map(|&(l, _)| l)
+        self.table.get(symbol).map(|(l, _)| l)
     }
 
     /// Exact size in bits of encoding `symbols` with this table (payload
     /// only, excluding the serialized table).
     pub fn payload_bits(&self, symbols: &[u32]) -> Option<usize> {
         let mut total = 0usize;
-        for s in symbols {
+        for &s in symbols {
             total += self.table.get(s)?.0 as usize;
         }
         Some(total)
@@ -177,20 +242,26 @@ impl HuffmanEncoder {
     /// length), then varint payload symbol count, varint payload byte
     /// length, payload bits.
     pub fn encode(&self, symbols: &[u32], out: &mut ByteWriter) {
-        let mut entries: Vec<(u32, u32)> = self.table.iter().map(|(&s, &(l, _))| (s, l)).collect();
-        entries.sort_by_key(|&(s, l)| (l, s));
-        out.put_varint(entries.len() as u64);
-        for (sym, len) in &entries {
-            out.put_varint(*sym as u64);
-            out.put_u8(*len as u8);
+        out.put_varint(self.entries.len() as u64);
+        for &(sym, len) in &self.entries {
+            out.put_varint(sym as u64);
+            out.put_u8(len as u8);
         }
         let mut bits = BitWriter::new();
-        for s in symbols {
-            let &(len, code) = self
-                .table
-                .get(s)
-                .expect("symbol not present in Huffman table");
-            bits.put_bits(code, len);
+        match &self.table {
+            SymbolTable::Dense(v) => {
+                for &s in symbols {
+                    let (len, code) = v[s as usize];
+                    assert!(len != 0, "symbol not present in Huffman table");
+                    bits.put_bits(code, len);
+                }
+            }
+            SymbolTable::Sparse(m) => {
+                for s in symbols {
+                    let &(len, code) = m.get(s).expect("symbol not present in Huffman table");
+                    bits.put_bits(code, len);
+                }
+            }
         }
         let payload = bits.finish();
         out.put_varint(symbols.len() as u64);
@@ -198,10 +269,17 @@ impl HuffmanEncoder {
     }
 }
 
+/// Width of the decoder's primary lookup table: codes no longer than
+/// this resolve in a single probe. 11 bits covers the vast majority of
+/// real quantizer-bin distributions while keeping the table at 2^11
+/// entries (16 KiB), cheap to build per stream.
+const PRIMARY_BITS: u32 = 11;
+
 /// Decoder over a serialized canonical Huffman stream.
 ///
-/// Uses per-length first-code/offset tables: decoding a symbol of length
-/// `L` costs exactly `L` bit reads and `L` table probes.
+/// Short codes (≤ [`PRIMARY_BITS`]) decode with one probe of a dense
+/// prefix table fed by a 64-bit peek; longer codes fall back to the
+/// canonical per-length first-code/offset walk (`O(length)` per symbol).
 #[derive(Debug)]
 pub struct HuffmanDecoder {
     /// Symbols sorted by (length, symbol) — canonical order.
@@ -212,6 +290,9 @@ pub struct HuffmanDecoder {
     count: [u32; MAX_CODE_LEN as usize + 1],
     /// Index into `symbols` of the first code of each length.
     offset: [u32; MAX_CODE_LEN as usize + 1],
+    /// Primary table indexed by the next [`PRIMARY_BITS`] bits of the
+    /// stream; entry = `symbol << 8 | code_length`, 0 = fall back.
+    primary: Vec<u64>,
 }
 
 impl HuffmanDecoder {
@@ -226,6 +307,7 @@ impl HuffmanDecoder {
         let mut first_code = [0u64; MAX_CODE_LEN as usize + 1];
         let mut count = [0u32; MAX_CODE_LEN as usize + 1];
         let mut offset = [0u32; MAX_CODE_LEN as usize + 1];
+        let mut primary = vec![0u64; 1 << PRIMARY_BITS];
         for (i, &(sym, len, code)) in coded.iter().enumerate() {
             let l = len as usize;
             if count[l] == 0 {
@@ -234,12 +316,25 @@ impl HuffmanDecoder {
             }
             count[l] += 1;
             symbols.push(sym);
+            // Every PRIMARY_BITS-wide bit pattern starting with this code
+            // maps to it (prefix-freeness keeps the ranges disjoint). The
+            // `code >> len` guard skips near-corrupt tables that slipped
+            // past the float Kraft check; they resolve via the fallback,
+            // which bounds-checks every step.
+            if len <= PRIMARY_BITS && (code >> len) == 0 {
+                let fill = PRIMARY_BITS - len;
+                let lo = (code << fill) as usize;
+                for slot in &mut primary[lo..lo + (1usize << fill)] {
+                    *slot = (sym as u64) << 8 | len as u64;
+                }
+            }
         }
         Ok(HuffmanDecoder {
             symbols,
             first_code,
             count,
             offset,
+            primary,
         })
     }
 
@@ -275,6 +370,25 @@ impl HuffmanDecoder {
     /// Decode a single symbol from a bit stream.
     #[inline]
     fn decode_one(&self, bits: &mut BitReader) -> Result<u32> {
+        // Fast path: one probe resolves any code of length <= PRIMARY_BITS.
+        // The peek zero-pads past the end of the buffer, so a hit is only
+        // trusted when the stream really holds that many bits; everything
+        // else (long codes, EOF, corrupt prefixes) takes the exact slow
+        // path below.
+        let entry = self.primary[bits.peek_bits(PRIMARY_BITS) as usize];
+        let len = (entry & 0xFF) as u32;
+        if len != 0 && len as usize <= bits.remaining_bits() {
+            bits.consume(len);
+            return Ok((entry >> 8) as u32);
+        }
+        self.decode_one_slow(bits)
+    }
+
+    /// Reference bit-by-bit canonical decode (the pre-table
+    /// implementation). Kept as the fallback for codes longer than
+    /// [`PRIMARY_BITS`] and for stream tails, and as the oracle the
+    /// equivalence tests compare the fast path against.
+    fn decode_one_slow(&self, bits: &mut BitReader) -> Result<u32> {
         let mut code = 0u64;
         for len in 1..=MAX_CODE_LEN as usize {
             code = (code << 1) | bits.get_bit()? as u64;
@@ -391,6 +505,107 @@ mod tests {
                 HuffmanDecoder::decode(&mut r).is_err(),
                 "truncation at {cut} not detected"
             );
+        }
+    }
+
+    /// Deterministic 64-bit mixer for adversarial-stream generation.
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e3779b97f4a7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        x ^ (x >> 31)
+    }
+
+    /// Table-driven fast decode must agree with the bit-by-bit canonical
+    /// walk on every code-length mix, especially around the
+    /// PRIMARY_BITS boundary and at MAX_CODE_LEN.
+    #[test]
+    fn fast_decode_matches_slow_on_adversarial_lengths() {
+        // Each mix is a (length, how-many) multiset chosen so the Kraft
+        // sum is exactly one (verified below in exact integer arithmetic).
+        let mixes: [&[(u32, usize)]; 4] = [
+            // One code of every length 1..=31, two of length 32.
+            &(1..=31)
+                .map(|l| (l, 1))
+                .chain([(32, 2)])
+                .collect::<Vec<_>>(),
+            // Chain 1..=10, then the remainder as length-12 codes:
+            // straddles the primary/fallback boundary.
+            &(1..=10)
+                .map(|l| (l, 1))
+                .chain([(12, 4)])
+                .collect::<Vec<_>>(),
+            // Saturated primary table: every code exactly PRIMARY_BITS.
+            &[(11, 2048)],
+            // Uniform just past the boundary: all codes miss the table.
+            &[(13, 8192)],
+        ];
+        for (mi, mix) in mixes.iter().enumerate() {
+            let kraft: u64 = mix
+                .iter()
+                .map(|&(l, n)| (n as u64) << (MAX_CODE_LEN + 8 - l))
+                .sum();
+            assert_eq!(kraft, 1u64 << (MAX_CODE_LEN + 8), "mix {mi} not complete");
+
+            // Distinct, non-contiguous symbol values.
+            let mut entries = Vec::new();
+            for &(len, n) in mix.iter() {
+                for _ in 0..n {
+                    entries.push((entries.len() as u32 * 7 + 3, len));
+                }
+            }
+            let coded = canonical_codes(entries.clone());
+
+            // Pseudorandom symbol stream encoded with the canonical codes.
+            let mut w = BitWriter::new();
+            let mut expect = Vec::new();
+            for i in 0..4000u64 {
+                let &(sym, len, code) =
+                    &coded[(splitmix64(i * 31 + mi as u64) % coded.len() as u64) as usize];
+                expect.push(sym);
+                w.put_bits(code, len);
+            }
+            let payload = w.finish();
+
+            let dec = HuffmanDecoder::from_entries(entries).unwrap();
+            let mut fast = BitReader::new(&payload);
+            let mut slow = BitReader::new(&payload);
+            for (i, &want) in expect.iter().enumerate() {
+                let a = dec.decode_one(&mut fast).unwrap();
+                let b = dec.decode_one_slow(&mut slow).unwrap();
+                assert_eq!(a, b, "mix {mi}: divergence at symbol {i}");
+                assert_eq!(a, want, "mix {mi}: wrong symbol at {i}");
+                assert_eq!(
+                    fast.remaining_bits(),
+                    slow.remaining_bits(),
+                    "mix {mi}: cursor divergence at {i}"
+                );
+            }
+        }
+    }
+
+    /// Truncation mid-code must error identically through both paths.
+    #[test]
+    fn fast_decode_eof_matches_slow() {
+        let entries: Vec<(u32, u32)> = (1..=10).map(|l| (l * 11, l)).chain([(121, 10)]).collect();
+        let coded = canonical_codes(entries.clone());
+        let mut w = BitWriter::new();
+        for &(_, len, code) in coded.iter() {
+            w.put_bits(code, len);
+        }
+        let payload = w.finish();
+        let dec = HuffmanDecoder::from_entries(entries).unwrap();
+        for cut in 0..payload.len() {
+            let mut fast = BitReader::new(&payload[..cut]);
+            let mut slow = BitReader::new(&payload[..cut]);
+            loop {
+                let a = dec.decode_one(&mut fast);
+                let b = dec.decode_one_slow(&mut slow);
+                assert_eq!(a, b, "cut {cut}");
+                if a.is_err() {
+                    break;
+                }
+            }
         }
     }
 

@@ -10,7 +10,7 @@
 use crate::config::level_error_bounds;
 use qoz_codec::LinearQuantizer;
 use qoz_metrics::{autocorr, ssim, QualityMetric};
-use qoz_predict::{for_each_base_point, traverse_level, LevelConfig};
+use qoz_predict::{base_point_count, traverse_level, LevelConfig};
 use qoz_sz3::{compress_with_spec, InterpSpec};
 use qoz_tensor::{NdArray, Scalar};
 
@@ -329,9 +329,7 @@ pub fn autotune_with_table<T: Scalar>(
 /// as lossless anchors, so nothing extra is needed; this helper exists to
 /// document the invariant and is used by tests.
 pub fn block_anchor_check<T: Scalar>(block: &NdArray<T>, levels: u32) -> usize {
-    let mut count = 0;
-    for_each_base_point(block.shape(), 1usize << levels, |_| count += 1);
-    count
+    base_point_count(block.shape(), 1usize << levels)
 }
 
 #[cfg(test)]

@@ -1,16 +1,16 @@
 //! Thread-parallel per-rank compression.
 //!
-//! Chunks are distributed over a bounded worker pool with an atomic work
-//! queue (crossbeam scoped threads — no `'static` bound needed, no data
-//! races by construction). Each chunk is an independent compression task,
-//! mirroring per-MPI-rank compression in the paper's parallel runs.
+//! Chunks are statically partitioned into contiguous slabs, one per
+//! worker (crossbeam scoped threads — no `'static` bound needed). Each
+//! worker owns a disjoint `&mut` slice of the output vector, so results
+//! land in place without any per-chunk locking, and chunk order — the
+//! serial-equals-parallel determinism invariant — is preserved by
+//! construction. Chunks are near-equal sized (see [`chunk_along_dim0`]),
+//! which keeps the static split balanced.
 
 use qoz_codec::stream::{Compressor, ErrorBound};
 use qoz_codec::Result;
 use qoz_tensor::{NdArray, Region, Scalar, Shape};
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
 
 /// Split an array into `n` near-equal chunks along dimension 0 (the
 /// usual HPC domain decomposition). Returns fewer chunks when dim 0 is
@@ -48,29 +48,25 @@ where
     T: Scalar,
     C: Compressor<T> + Sync,
 {
-    let threads = threads.max(1).min(chunks.len().max(1));
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<Vec<u8>>>> =
-        (0..chunks.len()).map(|_| Mutex::new(None)).collect();
+    if chunks.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(chunks.len());
+    let per = chunks.len().div_ceil(threads);
+    let mut results: Vec<Vec<u8>> = vec![Vec::new(); chunks.len()];
 
     crossbeam::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= chunks.len() {
-                    break;
+        for (out_slab, in_slab) in results.chunks_mut(per).zip(chunks.chunks(per)) {
+            s.spawn(move |_| {
+                for (out, chunk) in out_slab.iter_mut().zip(in_slab) {
+                    *out = compressor.compress(chunk, bound);
                 }
-                let blob = compressor.compress(&chunks[i], bound);
-                *results[i].lock() = Some(blob);
             });
         }
     })
     .expect("compression worker panicked");
 
     results
-        .into_iter()
-        .map(|m| m.into_inner().expect("missing chunk result"))
-        .collect()
 }
 
 /// Decompress every blob with `threads` workers; returns arrays in blob
@@ -84,20 +80,19 @@ where
     T: Scalar,
     C: Compressor<T> + Sync,
 {
-    let threads = threads.max(1).min(blobs.len().max(1));
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<Result<NdArray<T>>>>> =
-        (0..blobs.len()).map(|_| Mutex::new(None)).collect();
+    if blobs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let threads = threads.max(1).min(blobs.len());
+    let per = blobs.len().div_ceil(threads);
+    let mut results: Vec<Option<Result<NdArray<T>>>> = (0..blobs.len()).map(|_| None).collect();
 
     crossbeam::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= blobs.len() {
-                    break;
+        for (out_slab, in_slab) in results.chunks_mut(per).zip(blobs.chunks(per)) {
+            s.spawn(move |_| {
+                for (out, blob) in out_slab.iter_mut().zip(in_slab) {
+                    *out = Some(compressor.decompress(blob));
                 }
-                let out = compressor.decompress(&blobs[i]);
-                *results[i].lock() = Some(out);
             });
         }
     })
@@ -105,7 +100,7 @@ where
 
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("missing chunk result"))
+        .map(|m| m.expect("missing chunk result"))
         .collect()
 }
 

@@ -24,4 +24,7 @@ pub mod traverse;
 pub use interp::{DimOrder, InterpKind, LevelConfig};
 pub use lorenzo::{lorenzo2_predict, lorenzo_predict};
 pub use regression::RegressionModel;
-pub use traverse::{base_stride, for_each_base_point, max_level, traverse_level};
+pub use traverse::{
+    base_point_count, base_stride, for_each_base_point, level_point_count, max_level,
+    traverse_level,
+};

@@ -12,7 +12,7 @@
 //! each point (quantize vs. reconstruct). That symmetry is the error-bound
 //! guarantee's foundation and is covered by tests below.
 
-use crate::interp::{predict_line, LevelConfig};
+use crate::interp::{predict_line, DimOrder, InterpKind, LevelConfig};
 use qoz_tensor::{Scalar, Shape, MAX_NDIM};
 
 /// Number of interpolation levels needed to cover an array: the smallest
@@ -38,17 +38,43 @@ pub fn base_stride(level: u32) -> usize {
 
 /// Invoke `f` with the linear offset of every base-grid point: all
 /// coordinates congruent to 0 modulo `stride`.
+///
+/// Visits points in row-major order over the base grid (last dimension
+/// fastest), maintaining offsets incrementally: the inner loop advances
+/// by `stride` elements (the last dimension is contiguous) and the outer
+/// dimensions adjust the line offset by one stride product per step.
 pub fn for_each_base_point(shape: Shape, stride: usize, mut f: impl FnMut(usize)) {
     assert!(stride > 0);
     let nd = shape.ndim();
-    let counts: Vec<usize> = (0..nd).map(|d| (shape.dim(d) - 1) / stride + 1).collect();
-    let grid = Shape::new(&counts);
-    for gidx in grid.indices() {
-        let mut off = 0;
-        for d in 0..nd {
-            off += gidx[d] * stride * shape.stride(d);
+    let last = nd - 1;
+    let mut counts = [1usize; MAX_NDIM];
+    for d in 0..nd {
+        counts[d] = (shape.dim(d) - 1) / stride + 1;
+    }
+    let inner_cnt = counts[last];
+    let mut idx = [0usize; MAX_NDIM];
+    let mut line_off = 0usize;
+    loop {
+        let mut off = line_off;
+        for _ in 0..inner_cnt {
+            f(off);
+            off += stride; // shape.stride(last) == 1
         }
-        f(off);
+        // Odometer over the outer dimensions, second-to-last fastest.
+        let mut d = last;
+        loop {
+            if d == 0 {
+                return;
+            }
+            d -= 1;
+            idx[d] += 1;
+            line_off += stride * shape.stride(d);
+            if idx[d] < counts[d] {
+                break;
+            }
+            idx[d] = 0;
+            line_off -= counts[d] * stride * shape.stride(d);
+        }
     }
 }
 
@@ -66,6 +92,13 @@ pub fn base_point_count(shape: Shape, stride: usize) -> usize {
 /// value to `data[offset]` before returning (later predictions read it).
 ///
 /// `level >= 1`; the level stride is `2^(level-1)`.
+///
+/// The traversal is line-oriented: each pass walks whole contiguous
+/// lines along the innermost dimension with a fused per-kernel stencil
+/// (offsets maintained incrementally, no multi-index materialization).
+/// The visit order and the f64 arithmetic are exactly those of the
+/// original per-point odometer, so compressed streams are byte-identical
+/// (pinned by `tests/golden_bitstream.rs`).
 pub fn traverse_level<T: Scalar>(
     data: &mut [T],
     shape: Shape,
@@ -77,75 +110,285 @@ pub fn traverse_level<T: Scalar>(
     assert_eq!(data.len(), shape.len(), "buffer/shape mismatch");
     let s = 1usize << (level - 1);
     let nd = shape.ndim();
-    let order = cfg.order.dims(nd);
 
-    for (pass, &cur) in order.iter().enumerate() {
+    for pass in 0..nd {
+        let cur = match cfg.order {
+            DimOrder::Ascending => pass,
+            DimOrder::Descending => nd - 1 - pass,
+        };
         let n_cur = shape.dim(cur);
         // Nothing to predict along this dimension at this stride.
         if n_cur <= s {
             continue;
         }
-        // Allowed coordinates per dimension for this pass.
-        let mut starts = [0usize; MAX_NDIM];
+        // Allowed coordinates per dimension for this pass: the predicted
+        // dimension walks the odd multiples of `s`; dimensions refined
+        // earlier in this level sit on the full stride-s grid; the rest
+        // only exist on the coarse stride-2s grid.
         let mut steps = [1usize; MAX_NDIM];
+        let mut counts = [1usize; MAX_NDIM];
+        let mut base = 0usize; // offset of the first predicted point
         for d in 0..nd {
-            if d == cur {
-                starts[d] = s;
-                steps[d] = 2 * s;
-            } else if order[..pass].contains(&d) {
-                // Refined earlier in this level: full stride-s grid.
-                starts[d] = 0;
-                steps[d] = s;
+            let refined_earlier = match cfg.order {
+                DimOrder::Ascending => d < cur,
+                DimOrder::Descending => d > cur,
+            };
+            let (start, step) = if d == cur {
+                (s, 2 * s)
+            } else if refined_earlier {
+                (0, s)
             } else {
-                // Not yet refined: only the coarse stride-2s grid exists.
-                starts[d] = 0;
-                steps[d] = 2 * s;
-            }
+                (0, 2 * s)
+            };
+            steps[d] = step;
+            counts[d] = (shape.dim(d) - 1 - start) / step + 1;
+            base += start * shape.stride(d);
         }
+        pass_lines(
+            data, shape, cur, s, n_cur, &steps, &counts, base, cfg.kind, f,
+        );
+    }
+}
 
-        // Row-major odometer over the allowed coordinates.
-        let counts: Vec<usize> = (0..nd)
-            .map(|d| {
-                let n = shape.dim(d);
-                if starts[d] >= n {
-                    0
-                } else {
-                    (n - 1 - starts[d]) / steps[d] + 1
-                }
-            })
-            .collect();
-        if counts.contains(&0) {
-            continue;
+/// One pass of [`traverse_level`]: iterate the outer dimensions with an
+/// incremental-offset odometer and run a fused kernel along each
+/// contiguous inner line.
+#[allow(clippy::too_many_arguments)]
+fn pass_lines<T: Scalar>(
+    data: &mut [T],
+    shape: Shape,
+    cur: usize,
+    s: usize,
+    n_cur: usize,
+    steps: &[usize; MAX_NDIM],
+    counts: &[usize; MAX_NDIM],
+    base: usize,
+    kind: InterpKind,
+    f: &mut impl FnMut(&mut [T], usize, f64),
+) {
+    let nd = shape.ndim();
+    let last = nd - 1;
+    let contiguous = cur == last;
+    let stride_cur = shape.stride(cur);
+    let mut idx = [0usize; MAX_NDIM];
+    let mut line_off = base;
+    loop {
+        if contiguous {
+            line_contiguous(data, line_off, s, n_cur, counts[last], kind, f);
+        } else {
+            // The coordinate along `cur` is fixed for the whole line, so
+            // the stencil (and its boundary degradation) is chosen once.
+            let x = s * (2 * idx[cur] + 1);
+            line_strided(
+                data,
+                line_off,
+                x,
+                s,
+                n_cur,
+                stride_cur,
+                counts[last],
+                steps[last],
+                kind,
+                f,
+            );
         }
-        let grid = Shape::new(&counts);
-        let stride_cur = shape.stride(cur);
-        for gidx in grid.indices() {
-            let mut off = 0usize;
-            let mut x = 0usize;
-            for d in 0..nd {
-                let coord = starts[d] + gidx[d] * steps[d];
-                off += coord * shape.stride(d);
-                if d == cur {
-                    x = coord;
+        // Odometer over the outer dimensions, second-to-last fastest.
+        let mut d = last;
+        loop {
+            if d == 0 {
+                return;
+            }
+            d -= 1;
+            idx[d] += 1;
+            line_off += steps[d] * shape.stride(d);
+            if idx[d] < counts[d] {
+                break;
+            }
+            idx[d] = 0;
+            line_off -= counts[d] * steps[d] * shape.stride(d);
+        }
+    }
+}
+
+/// Predict a line *along* the innermost dimension: points sit at odd
+/// multiples of `s` (`x = s, 3s, 5s, ...`) with unit element stride, so
+/// neighbours live at fixed relative offsets `±s`, `±3s`. The first and
+/// last couple of points can lack far neighbours; they go through the
+/// generic boundary-degrading [`predict_line`], the interior through a
+/// branch-free fused stencil.
+fn line_contiguous<T: Scalar>(
+    data: &mut [T],
+    line_off: usize,
+    s: usize,
+    n: usize,
+    cnt: usize,
+    kind: InterpKind,
+    f: &mut impl FnMut(&mut [T], usize, f64),
+) {
+    let line_base = line_off - s;
+    // Largest k with 2*s*k <= n-1; the full-stencil j-ranges derive from
+    // it: point j sits at x = s*(2j+1), and e.g. `x + s < n` <=> `j < q`.
+    let q = (n - 1) / (2 * s);
+    let (lo, hi) = match kind {
+        InterpKind::Linear => (0usize, q),
+        InterpKind::Cubic => (1, q.saturating_sub(1)),
+        InterpKind::Quadratic => (1, q),
+    };
+    let lo = lo.min(cnt);
+    let hi = hi.clamp(lo, cnt);
+    let mut j = 0usize;
+    let mut off = line_off;
+    while j < lo {
+        let x = s * (2 * j + 1);
+        let pred = predict_line(kind, x, s, n, |p| data[line_base + p].to_f64());
+        f(data, off, pred);
+        off += 2 * s;
+        j += 1;
+    }
+    match kind {
+        InterpKind::Linear => {
+            while j < hi {
+                let pred = (data[off - s].to_f64() + data[off + s].to_f64()) * 0.5;
+                f(data, off, pred);
+                off += 2 * s;
+                j += 1;
+            }
+        }
+        InterpKind::Cubic => {
+            let s3 = 3 * s;
+            while j < hi {
+                let pred = (-data[off - s3].to_f64()
+                    + 9.0 * data[off - s].to_f64()
+                    + 9.0 * data[off + s].to_f64()
+                    - data[off + s3].to_f64())
+                    / 16.0;
+                f(data, off, pred);
+                off += 2 * s;
+                j += 1;
+            }
+        }
+        InterpKind::Quadratic => {
+            let s3 = 3 * s;
+            while j < hi {
+                let pred = (-data[off - s3].to_f64()
+                    + 6.0 * data[off - s].to_f64()
+                    + 3.0 * data[off + s].to_f64())
+                    / 8.0;
+                f(data, off, pred);
+                off += 2 * s;
+                j += 1;
+            }
+        }
+    }
+    while j < cnt {
+        let x = s * (2 * j + 1);
+        let pred = predict_line(kind, x, s, n, |p| data[line_base + p].to_f64());
+        f(data, off, pred);
+        off += 2 * s;
+        j += 1;
+    }
+}
+
+/// Predict a contiguous line *across* the interpolated dimension: every
+/// point on the line shares the same coordinate `x` along `cur`, so one
+/// stencil (with neighbours at fixed offsets `±s*stride_cur`,
+/// `±3s*stride_cur`) applies to the whole run. `x >= s` always holds
+/// (predicted coordinates start at `s`), so only the right boundary can
+/// degrade the kernel.
+#[allow(clippy::too_many_arguments)]
+fn line_strided<T: Scalar>(
+    data: &mut [T],
+    line_off: usize,
+    x: usize,
+    s: usize,
+    n_cur: usize,
+    stride_cur: usize,
+    cnt: usize,
+    step: usize,
+    kind: InterpKind,
+    f: &mut impl FnMut(&mut [T], usize, f64),
+) {
+    let d1 = s * stride_cur;
+    let d3 = 3 * s * stride_cur;
+    let mut off = line_off;
+    if x + s < n_cur {
+        let has_left2 = x >= 3 * s;
+        match kind {
+            InterpKind::Cubic if has_left2 && x + 3 * s < n_cur => {
+                for _ in 0..cnt {
+                    let pred = (-data[off - d3].to_f64()
+                        + 9.0 * data[off - d1].to_f64()
+                        + 9.0 * data[off + d1].to_f64()
+                        - data[off + d3].to_f64())
+                        / 16.0;
+                    f(data, off, pred);
+                    off += step;
                 }
             }
-            let line_base = off - x * stride_cur;
-            let pred = predict_line(cfg.kind, x, s, n_cur, |p| {
-                data[line_base + p * stride_cur].to_f64()
-            });
+            InterpKind::Quadratic if has_left2 => {
+                for _ in 0..cnt {
+                    let pred = (-data[off - d3].to_f64()
+                        + 6.0 * data[off - d1].to_f64()
+                        + 3.0 * data[off + d1].to_f64())
+                        / 8.0;
+                    f(data, off, pred);
+                    off += step;
+                }
+            }
+            _ => {
+                for _ in 0..cnt {
+                    let pred = (data[off - d1].to_f64() + data[off + d1].to_f64()) * 0.5;
+                    f(data, off, pred);
+                    off += step;
+                }
+            }
+        }
+    } else {
+        // No right neighbour at this stride: copy the left one.
+        for _ in 0..cnt {
+            let pred = data[off - d1].to_f64();
             f(data, off, pred);
+            off += step;
         }
     }
 }
 
 /// Total number of points predicted on `level` (useful for sizing and for
 /// the per-level error-bound bookkeeping in QoZ).
+///
+/// Closed form: each pass contributes the product of its per-dimension
+/// coordinate counts — no buffer allocation, no shadow traversal.
 pub fn level_point_count(shape: Shape, level: u32, cfg: LevelConfig) -> usize {
-    let mut count = 0usize;
-    // Cheap shadow traversal over a zero buffer.
-    let mut dummy = vec![f32::zero(); shape.len()];
-    traverse_level(&mut dummy, shape, level, cfg, &mut |_, _, _| count += 1);
-    count
+    assert!(level >= 1, "levels are numbered from 1");
+    let s = 1usize << (level - 1);
+    let nd = shape.ndim();
+    let mut total = 0usize;
+    for pass in 0..nd {
+        let cur = match cfg.order {
+            DimOrder::Ascending => pass,
+            DimOrder::Descending => nd - 1 - pass,
+        };
+        if shape.dim(cur) <= s {
+            continue;
+        }
+        let mut prod = 1usize;
+        for d in 0..nd {
+            let n = shape.dim(d);
+            let refined_earlier = match cfg.order {
+                DimOrder::Ascending => d < cur,
+                DimOrder::Descending => d > cur,
+            };
+            prod *= if d == cur {
+                (n - 1 - s) / (2 * s) + 1
+            } else if refined_earlier {
+                (n - 1) / s + 1
+            } else {
+                (n - 1) / (2 * s) + 1
+            };
+        }
+        total += prod;
+    }
+    total
 }
 
 #[cfg(test)]
@@ -307,6 +550,37 @@ mod tests {
         let cfg = LevelConfig::default();
         let total: usize = (1..=l).map(|lev| level_point_count(shape, lev, cfg)).sum();
         assert_eq!(total + base_point_count(shape, base_stride(l)), shape.len());
+    }
+
+    #[test]
+    fn level_point_count_matches_shadow_traversal() {
+        // The closed form must agree with an actual traversal (the old
+        // implementation counted by traversing a zero buffer).
+        let shapes = [
+            Shape::d1(1),
+            Shape::d1(2),
+            Shape::d1(100),
+            Shape::d2(9, 9),
+            Shape::d2(33, 17),
+            Shape::d2(1, 50),
+            Shape::d3(7, 10, 5),
+            Shape::d3(2, 2, 2),
+            Shape::new(&[3, 5, 4, 6]),
+        ];
+        for shape in shapes {
+            for cfg in LevelConfig::candidates() {
+                for level in 1..=max_level(shape).max(1) + 1 {
+                    let mut n = 0usize;
+                    let mut dummy = vec![0f32; shape.len()];
+                    traverse_level(&mut dummy, shape, level, cfg, &mut |_, _, _| n += 1);
+                    assert_eq!(
+                        level_point_count(shape, level, cfg),
+                        n,
+                        "closed form diverged for {shape:?} level {level} {cfg:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
