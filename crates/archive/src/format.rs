@@ -1,0 +1,396 @@
+//! On-disk layout of the QZAR container.
+//!
+//! ```text
+//! offset 0   magic "QZAR"                      (4 bytes)
+//!        4   container version                 (u8)
+//!        5   flags, reserved, must be 0        (u8)
+//!        6   toc_len                           (u64 LE)
+//!       14   TOC                               (toc_len bytes, see below)
+//!  14+toc_len  fnv1a64(TOC bytes)              (u64 LE)
+//!  22+toc_len  payload: chunk blobs, back to back
+//! ```
+//!
+//! TOC serialization (via `ByteWriter`, LEB128 varints):
+//!
+//! ```text
+//! var_count varint
+//! per variable:
+//!   name          len-prefixed UTF-8
+//!   scalar_tag    u8  (Scalar::TYPE_TAG)
+//!   ndim          u8, then ndim dims as varints
+//!   abs_eb        f64 (absolute bound all chunks were compressed with)
+//!   compressor    u8  (CompressorId)
+//!   chunk_side    varint (Region::tile block size)
+//!   chunk_count   varint (must equal the tile-grid size)
+//!   per chunk (row-major grid order, matching Region::tile):
+//!     offset varint   relative to payload start
+//!     len    varint
+//!     fnv1a64(blob)   u64
+//! ```
+//!
+//! Invariants the reader enforces:
+//!
+//! * chunks are byte-independent `qoz_codec::stream` blobs — each one
+//!   decodes on its own, with its own header, so any subset of chunks
+//!   can be fetched and decompressed without touching the rest;
+//! * the TOC is covered by its own FNV-1a checksum, every chunk by the
+//!   checksum recorded in its index entry;
+//! * chunk `offset + len` never exceeds the payload extent, and chunk
+//!   count always equals the `Region::tile` grid size for the recorded
+//!   shape and `chunk_side`.
+
+use crate::{ArchiveError, Result};
+use qoz_codec::stream::CompressorId;
+use qoz_codec::{ByteReader, ByteWriter};
+use qoz_tensor::{Region, Shape};
+
+/// 4-byte container magic: "QZAR" (QoZ archive).
+pub const MAGIC: [u8; 4] = *b"QZAR";
+/// Sanity cap on a single variable's declared element count (2^36 ~
+/// 275 GB of f32). The TOC is plaintext with a non-cryptographic
+/// checksum, so declared sizes gate allocations: anything larger is
+/// treated as corruption rather than trusted.
+pub const MAX_VAR_ELEMS: u64 = 1 << 36;
+/// Current container format version.
+pub const VERSION: u8 = 1;
+/// Bytes before the TOC: magic + version + flags + toc_len.
+pub const SUPERBLOCK_LEN: usize = 4 + 1 + 1 + 8;
+
+/// FNV-1a, 64-bit. Dependency-free, stable across platforms; used for
+/// both the TOC and the per-chunk integrity checksums.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Index entry for one stored chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkEntry {
+    /// Byte offset of the blob, relative to the payload start.
+    pub offset: u64,
+    /// Blob length in bytes.
+    pub len: u64,
+    /// FNV-1a 64 of the blob bytes.
+    pub checksum: u64,
+}
+
+/// Metadata for one archived variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarMeta {
+    /// Variable name (unique within the archive).
+    pub name: String,
+    /// Element type tag (`Scalar::TYPE_TAG`).
+    pub scalar_tag: u8,
+    /// Full-variable shape.
+    pub shape: Shape,
+    /// Absolute error bound every chunk was compressed with.
+    pub abs_eb: f64,
+    /// Backend that produced the chunk streams.
+    pub compressor: CompressorId,
+    /// `Region::tile` block size of the chunk grid.
+    pub chunk_side: usize,
+    /// One entry per chunk, in `Region::tile` (row-major grid) order.
+    pub chunks: Vec<ChunkEntry>,
+}
+
+impl VarMeta {
+    /// The chunk grid regions, in the same order as [`VarMeta::chunks`].
+    pub fn chunk_regions(&self) -> Vec<Region> {
+        Region::tile(self.shape, self.chunk_side)
+    }
+
+    /// Total compressed payload bytes of this variable.
+    pub fn compressed_len(&self) -> u64 {
+        self.chunks.iter().map(|c| c.len).sum()
+    }
+}
+
+/// Parsed table of contents.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Toc {
+    /// Archived variables, in insertion order.
+    pub vars: Vec<VarMeta>,
+}
+
+impl Toc {
+    /// Find a variable by name.
+    pub fn var(&self, name: &str) -> Result<&VarMeta> {
+        self.vars
+            .iter()
+            .find(|v| v.name == name)
+            .ok_or_else(|| ArchiveError::UnknownVariable(name.to_string()))
+    }
+
+    /// Serialize the TOC body (without superblock or checksum).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_varint(self.vars.len() as u64);
+        for v in &self.vars {
+            w.put_len_prefixed(v.name.as_bytes());
+            w.put_u8(v.scalar_tag);
+            w.put_u8(v.shape.ndim() as u8);
+            for &d in v.shape.dims() {
+                w.put_varint(d as u64);
+            }
+            w.put_f64(v.abs_eb);
+            w.put_u8(v.compressor as u8);
+            w.put_varint(v.chunk_side as u64);
+            w.put_varint(v.chunks.len() as u64);
+            for c in &v.chunks {
+                w.put_varint(c.offset);
+                w.put_varint(c.len);
+                w.put_u64(c.checksum);
+            }
+        }
+        w.finish()
+    }
+
+    /// Parse and validate a TOC body against the payload extent.
+    pub fn decode(bytes: &[u8], payload_len: u64) -> Result<Toc> {
+        let mut r = ByteReader::new(bytes);
+        let var_count = r.get_varint()?;
+        // One chunk entry is >= 10 bytes; an absurd count is corruption,
+        // not something to try allocating for.
+        if var_count > bytes.len() as u64 {
+            return Err(ArchiveError::Corrupt("implausible variable count"));
+        }
+        let mut vars = Vec::with_capacity(var_count as usize);
+        for _ in 0..var_count {
+            let name = std::str::from_utf8(r.get_len_prefixed()?)
+                .map_err(|_| ArchiveError::Corrupt("variable name is not UTF-8"))?
+                .to_string();
+            if name.is_empty() {
+                return Err(ArchiveError::Corrupt("empty variable name"));
+            }
+            let scalar_tag = r.get_u8()?;
+            let ndim = r.get_u8()? as usize;
+            if ndim == 0 || ndim > qoz_tensor::MAX_NDIM {
+                return Err(ArchiveError::Corrupt("bad variable rank"));
+            }
+            let mut dims = Vec::with_capacity(ndim);
+            for _ in 0..ndim {
+                let d = r.get_varint()? as usize;
+                if d == 0 || d > (1 << 32) {
+                    return Err(ArchiveError::Corrupt("bad variable dimension"));
+                }
+                dims.push(d);
+            }
+            // Checked product: dims are each <= 2^32, so four of them can
+            // wrap usize. A TOC is ~30 bytes of trivially re-checksummable
+            // plaintext — declared sizes must be validated, not trusted,
+            // before any consumer allocates for them.
+            let elems = dims
+                .iter()
+                .try_fold(1u128, |acc, &d| acc.checked_mul(d as u128))
+                .filter(|&e| e <= MAX_VAR_ELEMS as u128)
+                .ok_or(ArchiveError::Corrupt("implausible variable size"))?;
+            debug_assert!(elems > 0);
+            let shape = Shape::new(&dims);
+            let abs_eb = r.get_f64()?;
+            if !(abs_eb.is_finite() && abs_eb > 0.0) {
+                return Err(ArchiveError::Corrupt("bad error bound"));
+            }
+            let compressor = CompressorId::from_u8(r.get_u8()?)?;
+            let chunk_side = r.get_varint()? as usize;
+            if chunk_side == 0 {
+                return Err(ArchiveError::Corrupt("zero chunk side"));
+            }
+            let expected_chunks = shape
+                .dims()
+                .iter()
+                .try_fold(1usize, |acc, &d| acc.checked_mul(d.div_ceil(chunk_side)))
+                .ok_or(ArchiveError::Corrupt("chunk grid overflow"))?;
+            let chunk_count = r.get_varint()? as usize;
+            if chunk_count != expected_chunks {
+                return Err(ArchiveError::Corrupt("chunk count does not match grid"));
+            }
+            // Every entry takes >= 10 encoded bytes (two varints + u64);
+            // a count the remaining TOC cannot possibly hold is corruption
+            // — reject it before allocating the index.
+            if chunk_count > r.remaining() / 10 {
+                return Err(ArchiveError::Corrupt("implausible chunk count"));
+            }
+            let mut chunks = Vec::with_capacity(chunk_count);
+            for _ in 0..chunk_count {
+                let offset = r.get_varint()?;
+                let len = r.get_varint()?;
+                let checksum = r.get_u64()?;
+                if len == 0 {
+                    return Err(ArchiveError::Corrupt("zero-length chunk"));
+                }
+                let end = offset
+                    .checked_add(len)
+                    .ok_or(ArchiveError::Corrupt("chunk extent overflow"))?;
+                if end > payload_len {
+                    return Err(ArchiveError::Corrupt("chunk extends past payload"));
+                }
+                chunks.push(ChunkEntry {
+                    offset,
+                    len,
+                    checksum,
+                });
+            }
+            if vars.iter().any(|v: &VarMeta| v.name == name) {
+                return Err(ArchiveError::Corrupt("duplicate variable name"));
+            }
+            vars.push(VarMeta {
+                name,
+                scalar_tag,
+                shape,
+                abs_eb,
+                compressor,
+                chunk_side,
+                chunks,
+            });
+        }
+        if r.remaining() != 0 {
+            return Err(ArchiveError::Corrupt("trailing bytes after TOC"));
+        }
+        Ok(Toc { vars })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_toc() -> Toc {
+        Toc {
+            vars: vec![VarMeta {
+                name: "temperature".into(),
+                scalar_tag: 0x32,
+                shape: Shape::d3(10, 12, 14),
+                abs_eb: 1e-3,
+                compressor: CompressorId::Qoz,
+                chunk_side: 8,
+                chunks: (0..8)
+                    .map(|k| ChunkEntry {
+                        offset: k * 100,
+                        len: 100,
+                        checksum: 0xDEAD_0000 + k,
+                    })
+                    .collect(),
+            }],
+        }
+    }
+
+    #[test]
+    fn toc_roundtrip() {
+        let toc = sample_toc();
+        let bytes = toc.encode();
+        assert_eq!(Toc::decode(&bytes, 800).unwrap(), toc);
+    }
+
+    #[test]
+    fn toc_rejects_chunk_past_payload() {
+        let toc = sample_toc();
+        let bytes = toc.encode();
+        assert!(matches!(
+            Toc::decode(&bytes, 799),
+            Err(ArchiveError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn toc_rejects_wrong_chunk_count() {
+        let mut toc = sample_toc();
+        toc.vars[0].chunks.pop();
+        let bytes = toc.encode();
+        assert!(Toc::decode(&bytes, 800).is_err());
+    }
+
+    #[test]
+    fn toc_rejects_duplicate_names() {
+        let mut toc = sample_toc();
+        let dup = toc.vars[0].clone();
+        toc.vars.push(dup);
+        assert!(Toc::decode(&toc.encode(), 1600).is_err());
+    }
+
+    #[test]
+    fn toc_truncation_always_errors() {
+        let bytes = sample_toc().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                Toc::decode(&bytes[..cut], 800).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+    }
+
+    /// Hand-encode a minimal single-variable TOC prefix up to and
+    /// including the dims, so tests can probe size validation with dims
+    /// no legitimate `Shape` could represent.
+    fn encode_var_prefix(dims: &[u64]) -> ByteWriter {
+        let mut w = ByteWriter::new();
+        w.put_varint(1); // var_count
+        w.put_len_prefixed(b"v");
+        w.put_u8(0x32); // f32
+        w.put_u8(dims.len() as u8);
+        for &d in dims {
+            w.put_varint(d);
+        }
+        w
+    }
+
+    #[test]
+    fn giant_declared_dims_rejected_before_allocation() {
+        // Dims of 2^32 each wrap the usize element product; the decoder
+        // must refuse such a TOC (which is ~40 bytes of plaintext with a
+        // recomputable checksum — not trustworthy) instead of letting a
+        // reader allocate for it.
+        let bytes = encode_var_prefix(&[1 << 32, 1 << 32, 1 << 32]).finish();
+        assert_eq!(
+            Toc::decode(&bytes, 800),
+            Err(ArchiveError::Corrupt("implausible variable size"))
+        );
+        // Above the per-variable cap with individually-legal dims.
+        let bytes = encode_var_prefix(&[32, 1 << 32]).finish();
+        assert_eq!(
+            Toc::decode(&bytes, 800),
+            Err(ArchiveError::Corrupt("implausible variable size"))
+        );
+        // At the cap is still structurally acceptable (fails later on
+        // truncation, not on size).
+        let bytes = encode_var_prefix(&[16, 1 << 32]).finish();
+        assert_ne!(
+            Toc::decode(&bytes, 800),
+            Err(ArchiveError::Corrupt("implausible variable size"))
+        );
+    }
+
+    #[test]
+    fn implausible_chunk_count_rejected_before_allocation() {
+        // A grid the TOC's remaining bytes could never index must be
+        // rejected up front rather than pre-allocating the entry table:
+        // 2^10 cubed elements passes the size cap, chunk_side 1 makes the
+        // grid 2^30 chunks, and the TOC holds zero entry bytes.
+        let mut w = encode_var_prefix(&[1 << 10, 1 << 10, 1 << 10]);
+        w.put_f64(1e-3);
+        w.put_u8(CompressorId::Sz3 as u8);
+        w.put_varint(1); // chunk_side
+        w.put_varint(1 << 30); // chunk_count matches the grid
+        let bytes = w.finish();
+        assert_eq!(
+            Toc::decode(&bytes, u64::MAX),
+            Err(ArchiveError::Corrupt("implausible chunk count"))
+        );
+    }
+
+    #[test]
+    fn fnv_matches_known_vector() {
+        // FNV-1a 64 of the empty string and of "a" are published constants.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn chunk_regions_match_entry_count() {
+        let toc = sample_toc();
+        assert_eq!(toc.vars[0].chunk_regions().len(), toc.vars[0].chunks.len());
+    }
+}

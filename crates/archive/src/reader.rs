@@ -1,0 +1,416 @@
+//! Reading QZAR archives: full variables, region queries, verification.
+
+use crate::format::{fnv1a, Toc, VarMeta, MAGIC, SUPERBLOCK_LEN, VERSION};
+use crate::source::{ByteSource, FileSource, SliceSource};
+use crate::{ArchiveError, Result};
+use qoz_tensor::{NdArray, Region, Scalar, Shape};
+
+/// Summary returned by [`ArchiveReader::verify`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Variables checked.
+    pub vars: usize,
+    /// Chunks whose checksums were verified.
+    pub chunks: usize,
+    /// Payload bytes covered.
+    pub payload_bytes: u64,
+}
+
+/// Random-access reader over a QZAR archive.
+///
+/// Construction parses and checksums the superblock and TOC only; chunk
+/// payloads are fetched lazily, one positioned read per chunk a query
+/// actually intersects. Every fetched chunk is verified against its
+/// index checksum before decoding.
+#[derive(Debug)]
+pub struct ArchiveReader<S: ByteSource> {
+    src: S,
+    toc: Toc,
+    payload_start: u64,
+}
+
+impl ArchiveReader<FileSource> {
+    /// Open an archive file.
+    pub fn open(path: &str) -> Result<Self> {
+        Self::new(FileSource::open(path)?)
+    }
+}
+
+impl<'a> ArchiveReader<SliceSource<'a>> {
+    /// Read an archive already held in memory.
+    pub fn from_bytes(bytes: &'a [u8]) -> Result<Self> {
+        Self::new(SliceSource::new(bytes))
+    }
+}
+
+impl<S: ByteSource> ArchiveReader<S> {
+    /// Parse the superblock and TOC from any byte source.
+    pub fn new(mut src: S) -> Result<Self> {
+        let sb = src.read_at(0, SUPERBLOCK_LEN)?;
+        if sb[..4] != MAGIC {
+            return Err(ArchiveError::BadMagic);
+        }
+        let version = sb[4];
+        if version > VERSION {
+            return Err(ArchiveError::NewerFormat {
+                found: version,
+                supported: VERSION,
+            });
+        }
+        // Lower-than-ever-released versions are corruption, not a format
+        // to "upgrade" for — don't tell the user to chase a newer build.
+        if version != VERSION {
+            return Err(ArchiveError::Corrupt("bad container version"));
+        }
+        if sb[5] != 0 {
+            return Err(ArchiveError::Corrupt("nonzero reserved flags"));
+        }
+        let mut len8 = [0u8; 8];
+        len8.copy_from_slice(&sb[6..14]);
+        let toc_len = u64::from_le_bytes(len8);
+        if toc_len > src.len() {
+            return Err(ArchiveError::Truncated);
+        }
+        let toc_bytes = src.read_at(SUPERBLOCK_LEN as u64, toc_len as usize)?;
+        let sum = src.read_at(SUPERBLOCK_LEN as u64 + toc_len, 8)?;
+        let mut sum8 = [0u8; 8];
+        sum8.copy_from_slice(&sum);
+        if fnv1a(&toc_bytes) != u64::from_le_bytes(sum8) {
+            return Err(ArchiveError::Corrupt("TOC checksum mismatch"));
+        }
+        let payload_start = SUPERBLOCK_LEN as u64 + toc_len + 8;
+        let payload_len = src.len() - payload_start;
+        let toc = Toc::decode(&toc_bytes, payload_len)?;
+        Ok(ArchiveReader {
+            src,
+            toc,
+            payload_start,
+        })
+    }
+
+    /// The parsed table of contents.
+    pub fn toc(&self) -> &Toc {
+        &self.toc
+    }
+
+    /// Total archive size in bytes.
+    pub fn archive_len(&self) -> u64 {
+        self.src.len()
+    }
+
+    /// Bytes fetched from the source so far (superblock + TOC + chunks).
+    pub fn bytes_read(&self) -> u64 {
+        self.src.bytes_read()
+    }
+
+    /// Fetch chunk `k` of `var` and verify its checksum.
+    fn fetch_chunk(&mut self, var_idx: usize, k: usize) -> Result<Vec<u8>> {
+        let entry = self.toc.vars[var_idx].chunks[k];
+        let blob = self
+            .src
+            .read_at(self.payload_start + entry.offset, entry.len as usize)?;
+        if fnv1a(&blob) != entry.checksum {
+            return Err(ArchiveError::ChecksumMismatch {
+                var: self.toc.vars[var_idx].name.clone(),
+                chunk: k,
+            });
+        }
+        Ok(blob)
+    }
+
+    fn var_index<T: Scalar>(&self, name: &str) -> Result<usize> {
+        let idx = self
+            .toc
+            .vars
+            .iter()
+            .position(|v| v.name == name)
+            .ok_or_else(|| ArchiveError::UnknownVariable(name.to_string()))?;
+        let stored = self.toc.vars[idx].scalar_tag;
+        if stored != T::TYPE_TAG {
+            return Err(ArchiveError::TypeMismatch {
+                stored,
+                requested: T::TYPE_TAG,
+            });
+        }
+        Ok(idx)
+    }
+
+    /// Decompress the slab of `var` covered by `region`, touching only
+    /// the chunks the region intersects.
+    ///
+    /// Intersecting chunk blobs are fetched and checksum-verified one
+    /// positioned read at a time, then decompressed in parallel through
+    /// `qoz_pario`'s disjoint-slab workers — chunks are independent
+    /// streams, so region queries and bulk loads scale with cores the
+    /// same way bulk dumps do. The result is a dense array of the
+    /// region's size, bitwise equal to slicing the same region out of a
+    /// full decompress.
+    pub fn read_region<T: Scalar>(&mut self, name: &str, region: &Region) -> Result<NdArray<T>> {
+        let var_idx = self.var_index::<T>(name)?;
+        let shape = self.toc.vars[var_idx].shape;
+        // Checked addition: a wrapped `origin + size` must not slip past
+        // the bounds check and quietly return a zero-filled slab.
+        if region.ndim() != shape.ndim()
+            || (0..region.ndim()).any(|d| {
+                region.origin()[d]
+                    .checked_add(region.size()[d])
+                    .map_or(true, |end| end > shape.dim(d))
+            })
+        {
+            return Err(ArchiveError::RegionOutOfBounds);
+        }
+        let grid = self.toc.vars[var_idx].chunk_regions();
+        let hits: Vec<(usize, Region)> = grid
+            .iter()
+            .enumerate()
+            .filter_map(|(k, cr)| cr.intersect(region).map(|overlap| (k, overlap)))
+            .collect();
+        let mut blobs = Vec::with_capacity(hits.len());
+        for &(k, _) in &hits {
+            blobs.push(self.fetch_chunk(var_idx, k)?);
+        }
+        let codec = crate::dispatch::compressor_for::<T>(self.toc.vars[var_idx].compressor);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let chunks = qoz_pario::decompress_chunks(&*codec, &blobs, threads)?;
+
+        let nd = shape.ndim();
+        let mut out = NdArray::<T>::zeros(Shape::new(region.size()));
+        for (&(k, ref overlap), chunk) in hits.iter().zip(&chunks) {
+            let chunk_region = &grid[k];
+            if chunk.shape().dims() != chunk_region.size() {
+                return Err(ArchiveError::Corrupt("chunk stream disagrees with index"));
+            }
+            // Overlap in chunk-local, then region-local coordinates.
+            let mut local_o = [0usize; qoz_tensor::MAX_NDIM];
+            let mut dest_o = [0usize; qoz_tensor::MAX_NDIM];
+            for d in 0..nd {
+                local_o[d] = overlap.origin()[d] - chunk_region.origin()[d];
+                dest_o[d] = overlap.origin()[d] - region.origin()[d];
+            }
+            let dest = Region::new(&dest_o[..nd], overlap.size());
+            if overlap.size() == chunk_region.size() {
+                // Fully-covered chunk (the read_full case): insert
+                // directly, no intermediate copy.
+                out.insert_region(&dest, chunk);
+            } else {
+                let piece = chunk.extract_region(&Region::new(&local_o[..nd], overlap.size()));
+                out.insert_region(&dest, &piece);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decompress a whole variable (a [`ArchiveReader::read_region`]
+    /// over the full shape — every chunk is fully covered, so each
+    /// decodes in parallel and lands in the output without copies).
+    pub fn read_full<T: Scalar>(&mut self, name: &str) -> Result<NdArray<T>> {
+        let var_idx = self.var_index::<T>(name)?;
+        let shape = self.toc.vars[var_idx].shape;
+        self.read_region(name, &Region::full(shape))
+    }
+
+    /// Integrity fast path: fetch every chunk and check its checksum
+    /// (and the TOC's, already checked at open) **without** spending any
+    /// time decompressing.
+    pub fn verify(&mut self) -> Result<VerifyReport> {
+        let mut report = VerifyReport {
+            vars: self.toc.vars.len(),
+            chunks: 0,
+            payload_bytes: 0,
+        };
+        for v in 0..self.toc.vars.len() {
+            for k in 0..self.toc.vars[v].chunks.len() {
+                let blob = self.fetch_chunk(v, k)?;
+                report.chunks += 1;
+                report.payload_bytes += blob.len() as u64;
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// Convenience: list `(name, meta)` summaries of an archive's variables.
+pub fn describe(toc: &Toc) -> Vec<String> {
+    toc.vars
+        .iter()
+        .map(|v: &VarMeta| {
+            let ty = if v.scalar_tag == f64::TYPE_TAG {
+                "f64".to_string()
+            } else if v.scalar_tag == f32::TYPE_TAG {
+                "f32".to_string()
+            } else {
+                format!("tag {:#04x}", v.scalar_tag)
+            };
+            format!(
+                "{}: {:?} {ty} via {}, eb={:.3e}, {} chunks (side {}), {} bytes",
+                v.name,
+                v.shape.dims(),
+                v.compressor.name(),
+                v.abs_eb,
+                v.chunks.len(),
+                v.chunk_side,
+                v.compressed_len()
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::ArchiveWriter;
+    use qoz_codec::stream::ErrorBound;
+
+    fn field() -> NdArray<f32> {
+        NdArray::from_fn(Shape::d3(13, 11, 9), |i| {
+            (i[0] as f32 * 0.35).sin() + (i[1] as f32 * 0.2).cos() * i[2] as f32 * 0.05
+        })
+    }
+
+    fn archive() -> Vec<u8> {
+        let data = field();
+        let mut w = ArchiveWriter::new().with_chunk_side(4);
+        w.add_variable(
+            "rho",
+            &data,
+            &qoz_sz3::Sz3::default(),
+            ErrorBound::Abs(1e-3),
+        )
+        .unwrap();
+        w.finish()
+    }
+
+    #[test]
+    fn full_read_honors_bound() {
+        let bytes = archive();
+        let mut r = ArchiveReader::from_bytes(&bytes).unwrap();
+        let full: NdArray<f32> = r.read_full("rho").unwrap();
+        assert!(field().max_abs_diff(&full) <= 1e-3 * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn region_read_equals_full_slice() {
+        let bytes = archive();
+        let mut r = ArchiveReader::from_bytes(&bytes).unwrap();
+        let full: NdArray<f32> = r.read_full("rho").unwrap();
+        for region in [
+            Region::new(&[0, 0, 0], &[1, 1, 1]),
+            Region::new(&[3, 2, 1], &[6, 5, 7]),
+            Region::new(&[12, 10, 8], &[1, 1, 1]),
+            Region::new(&[0, 0, 0], &[13, 11, 9]),
+        ] {
+            let slab: NdArray<f32> = r.read_region("rho", &region).unwrap();
+            assert_eq!(
+                slab.as_slice(),
+                full.extract_region(&region).as_slice(),
+                "region {region:?} differs from full-decompress slice"
+            );
+        }
+    }
+
+    #[test]
+    fn region_read_touches_fewer_bytes() {
+        let bytes = archive();
+        let mut r = ArchiveReader::from_bytes(&bytes).unwrap();
+        let header_cost = r.bytes_read();
+        let _: NdArray<f32> = r
+            .read_region("rho", &Region::new(&[0, 0, 0], &[2, 2, 2]))
+            .unwrap();
+        let after_region = r.bytes_read();
+        // One 4x4x4 corner chunk out of 4*3*3 chunks.
+        assert!(
+            after_region - header_cost < bytes.len() as u64 / 8,
+            "single-chunk query read {} of {} bytes",
+            after_region - header_cost,
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn wrong_name_type_and_region_reported() {
+        let bytes = archive();
+        let mut r = ArchiveReader::from_bytes(&bytes).unwrap();
+        assert!(matches!(
+            r.read_full::<f32>("nope"),
+            Err(ArchiveError::UnknownVariable(_))
+        ));
+        assert!(matches!(
+            r.read_full::<f64>("rho"),
+            Err(ArchiveError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            r.read_region::<f32>("rho", &Region::new(&[10, 0, 0], &[4, 1, 1])),
+            Err(ArchiveError::RegionOutOfBounds)
+        ));
+        assert!(matches!(
+            r.read_region::<f32>("rho", &Region::new(&[0, 0], &[2, 2])),
+            Err(ArchiveError::RegionOutOfBounds)
+        ));
+        // origin + size wrapping around usize must not sneak past the
+        // bounds check and come back as a zero-filled slab.
+        assert!(matches!(
+            r.read_region::<f32>("rho", &Region::new(&[usize::MAX, 0, 0], &[2, 1, 1])),
+            Err(ArchiveError::RegionOutOfBounds)
+        ));
+    }
+
+    #[test]
+    fn verify_checks_every_chunk() {
+        let bytes = archive();
+        let mut r = ArchiveReader::from_bytes(&bytes).unwrap();
+        let report = r.verify().unwrap();
+        assert_eq!(report.vars, 1);
+        assert_eq!(report.chunks, 4 * 3 * 3);
+        assert!(report.payload_bytes > 0);
+    }
+
+    #[test]
+    fn payload_corruption_detected() {
+        let mut bytes = archive();
+        let n = bytes.len();
+        bytes[n - 10] ^= 0xFF; // inside the last chunk's blob
+        let mut r = ArchiveReader::from_bytes(&bytes).unwrap();
+        assert!(matches!(
+            r.verify(),
+            Err(ArchiveError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn newer_container_version_reported() {
+        let mut bytes = archive();
+        bytes[4] = VERSION + 1;
+        let err = ArchiveReader::from_bytes(&bytes).unwrap_err();
+        assert!(err.is_newer_format(), "{err}");
+        // A version below anything ever released is corruption — the
+        // error must not advise upgrading.
+        bytes[4] = 0;
+        let err = ArchiveReader::from_bytes(&bytes).unwrap_err();
+        assert!(!err.is_newer_format());
+        assert!(matches!(err, ArchiveError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn bad_magic_reported() {
+        let mut bytes = archive();
+        bytes[0] = b'X';
+        assert_eq!(
+            ArchiveReader::from_bytes(&bytes).unwrap_err(),
+            ArchiveError::BadMagic
+        );
+    }
+
+    #[test]
+    fn describe_summarizes_vars() {
+        let bytes = archive();
+        let r = ArchiveReader::from_bytes(&bytes).unwrap();
+        let lines = describe(r.toc());
+        assert_eq!(lines.len(), 1);
+        assert!(
+            lines[0].contains("rho") && lines[0].contains("SZ3"),
+            "{lines:?}"
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Building QZAR archives.
+
+use crate::format::{fnv1a, ChunkEntry, Toc, VarMeta, MAGIC, VERSION};
+use crate::{ArchiveError, Result};
+use qoz_codec::stream::{Compressor, ErrorBound};
+use qoz_codec::ByteWriter;
+use qoz_tensor::{NdArray, Scalar};
+
+/// Default chunk grid side (elements). 32³ f32 chunks are 128 KiB raw —
+/// small enough that a region query touches little excess data, large
+/// enough that per-chunk stream overhead stays negligible.
+pub const DEFAULT_CHUNK_SIDE: usize = 32;
+
+/// Builds an archive: add variables one at a time, then [`finish`].
+///
+/// Each variable is split into a `Region::tile` chunk grid; chunks are
+/// compressed *independently* (so readers can fetch any subset) and in
+/// parallel via `qoz_pario`'s disjoint-slab workers. A relative error
+/// bound is resolved against the **whole** variable once, so every
+/// chunk honors the same absolute bound the monolithic stream would —
+/// chunking never changes the error contract.
+///
+/// [`finish`]: ArchiveWriter::finish
+#[derive(Debug)]
+pub struct ArchiveWriter {
+    chunk_side: usize,
+    threads: usize,
+    toc: Toc,
+    payload: Vec<u8>,
+}
+
+impl Default for ArchiveWriter {
+    fn default() -> Self {
+        ArchiveWriter {
+            chunk_side: DEFAULT_CHUNK_SIDE,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            toc: Toc::default(),
+            payload: Vec::new(),
+        }
+    }
+}
+
+impl ArchiveWriter {
+    /// Create a writer with the default chunk side and thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override the chunk grid side (elements per dimension).
+    ///
+    /// # Panics
+    /// Panics if `side` is 0.
+    pub fn with_chunk_side(mut self, side: usize) -> Self {
+        assert!(side > 0, "chunk side must be positive");
+        self.chunk_side = side;
+        self
+    }
+
+    /// Override the number of compression worker threads.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Variables added so far.
+    pub fn toc(&self) -> &Toc {
+        &self.toc
+    }
+
+    /// Compress `data` under `bound` with `compressor` and add it as a
+    /// variable named `name`.
+    pub fn add_variable<T, C>(
+        &mut self,
+        name: &str,
+        data: &NdArray<T>,
+        compressor: &C,
+        bound: ErrorBound,
+    ) -> Result<()>
+    where
+        T: Scalar,
+        C: Compressor<T> + Sync + ?Sized,
+    {
+        if name.is_empty() {
+            return Err(ArchiveError::Corrupt("empty variable name"));
+        }
+        if self.toc.vars.iter().any(|v| v.name == name) {
+            return Err(ArchiveError::DuplicateVariable(name.to_string()));
+        }
+        // Resolve a relative bound against the full variable so every
+        // chunk gets the same absolute bound.
+        let abs_eb = bound.absolute(data);
+        let regions = qoz_tensor::Region::tile(data.shape(), self.chunk_side);
+        let chunks: Vec<NdArray<T>> = regions.iter().map(|r| data.extract_region(r)).collect();
+        let blobs =
+            qoz_pario::compress_chunks(compressor, &chunks, ErrorBound::Abs(abs_eb), self.threads);
+        let mut entries = Vec::with_capacity(blobs.len());
+        for blob in &blobs {
+            entries.push(ChunkEntry {
+                offset: self.payload.len() as u64,
+                len: blob.len() as u64,
+                checksum: fnv1a(blob),
+            });
+            self.payload.extend_from_slice(blob);
+        }
+        self.toc.vars.push(VarMeta {
+            name: name.to_string(),
+            scalar_tag: T::TYPE_TAG,
+            shape: data.shape(),
+            abs_eb,
+            compressor: compressor.id(),
+            chunk_side: self.chunk_side,
+            chunks: entries,
+        });
+        Ok(())
+    }
+
+    /// Serialize the archive: superblock, TOC + checksum, payload.
+    pub fn finish(self) -> Vec<u8> {
+        let toc_bytes = self.toc.encode();
+        let mut w = ByteWriter::with_capacity(
+            crate::format::SUPERBLOCK_LEN + toc_bytes.len() + 8 + self.payload.len(),
+        );
+        w.put_bytes(&MAGIC);
+        w.put_u8(VERSION);
+        w.put_u8(0); // flags, reserved
+        w.put_u64(toc_bytes.len() as u64);
+        w.put_bytes(&toc_bytes);
+        w.put_u64(fnv1a(&toc_bytes));
+        w.put_bytes(&self.payload);
+        w.finish()
+    }
+
+    /// Serialize and write the archive to `path`; returns bytes written.
+    pub fn write_to(self, path: &str) -> Result<u64> {
+        let bytes = self.finish();
+        std::fs::write(path, &bytes)
+            .map_err(|e| ArchiveError::Io(format!("cannot write {path}: {e}")))?;
+        Ok(bytes.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoz_tensor::Shape;
+
+    fn field() -> NdArray<f32> {
+        NdArray::from_fn(Shape::d3(12, 10, 8), |i| {
+            (i[0] as f32 * 0.4).sin() * (i[1] as f32 * 0.25).cos() + i[2] as f32 * 0.02
+        })
+    }
+
+    #[test]
+    fn writer_records_grid_sized_index() {
+        let data = field();
+        let mut w = ArchiveWriter::new().with_chunk_side(4);
+        w.add_variable("v", &data, &qoz_sz3::Sz3::default(), ErrorBound::Abs(1e-3))
+            .unwrap();
+        let var = &w.toc().vars[0];
+        assert_eq!(var.chunks.len(), 3 * 3 * 2);
+        assert_eq!(var.chunk_side, 4);
+        assert_eq!(var.compressor, qoz_codec::CompressorId::Sz3);
+        // Entries tile the payload contiguously.
+        let mut expect_off = 0u64;
+        for c in &var.chunks {
+            assert_eq!(c.offset, expect_off);
+            assert!(c.len > 0);
+            expect_off += c.len;
+        }
+    }
+
+    #[test]
+    fn duplicate_variable_rejected() {
+        let data = field();
+        let mut w = ArchiveWriter::new();
+        let c = qoz_sz3::Sz3::default();
+        w.add_variable("v", &data, &c, ErrorBound::Abs(1e-3))
+            .unwrap();
+        assert_eq!(
+            w.add_variable("v", &data, &c, ErrorBound::Abs(1e-3)),
+            Err(ArchiveError::DuplicateVariable("v".into()))
+        );
+        assert!(w
+            .add_variable("", &data, &c, ErrorBound::Abs(1e-3))
+            .is_err());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_bytes() {
+        let data = field();
+        let c = qoz_sz3::Sz3::default();
+        let mut a = ArchiveWriter::new().with_chunk_side(4).with_threads(1);
+        a.add_variable("v", &data, &c, ErrorBound::Abs(1e-3))
+            .unwrap();
+        let mut b = ArchiveWriter::new().with_chunk_side(4).with_threads(7);
+        b.add_variable("v", &data, &c, ErrorBound::Abs(1e-3))
+            .unwrap();
+        assert_eq!(a.finish(), b.finish(), "archives must be deterministic");
+    }
+
+    #[test]
+    fn relative_bound_resolved_against_full_variable() {
+        // A chunk-local relative resolution would give chunk 1 (range
+        // ~0.08) a far tighter bound than the global range (~8) implies;
+        // recording abs_eb from the full variable is the contract.
+        let data = NdArray::from_fn(Shape::d1(64), |i| {
+            if i[0] < 32 {
+                i[0] as f32 * 0.25
+            } else {
+                i[0] as f32 * 0.0025
+            }
+        });
+        let mut w = ArchiveWriter::new().with_chunk_side(32);
+        w.add_variable("v", &data, &qoz_sz3::Sz3::default(), ErrorBound::Rel(1e-2))
+            .unwrap();
+        let expect = ErrorBound::Rel(1e-2).absolute(&data);
+        assert_eq!(w.toc().vars[0].abs_eb, expect);
+    }
+}

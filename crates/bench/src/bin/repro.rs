@@ -180,16 +180,106 @@ fn bench_throughput(o: &Opts) {
             }
         }
     }
+    let random_access = bench_random_access(o);
     let json = format!(
-        "{{\n  \"schema\": \"qoz-suite/bench-throughput/v1\",\n  \"size_class\": \"{:?}\",\n  \"unit\": \"MB/s of raw f32 data\",\n  \"entries\": [\n{}\n  ]\n}}\n",
+        concat!(
+            "{{\n  \"schema\": \"qoz-suite/bench-throughput/v2\",\n",
+            "  \"size_class\": \"{:?}\",\n",
+            "  \"unit\": \"MB/s of raw f32 data\",\n",
+            "  \"entries\": [\n{}\n  ],\n",
+            "  \"random_access\": [\n{}\n  ]\n}}\n"
+        ),
         o.size,
-        entries.join(",\n")
+        entries.join(",\n"),
+        random_access.join(",\n")
     );
     if let Some(dir) = std::path::Path::new(&path).parent() {
         std::fs::create_dir_all(dir).unwrap();
     }
     std::fs::write(&path, json).unwrap();
     println!("-> {path}");
+}
+
+/// The random-access axis of the `bench` baseline: archive one dataset
+/// per backend, query a ~1% region, and report how few bytes the
+/// indexed container actually reads versus decompressing everything.
+fn bench_random_access(o: &Opts) -> Vec<String> {
+    use qoz_archive::{ArchiveReader, ArchiveWriter};
+
+    println!("\n--- random access: ~1% region query vs full decompress (Miranda) ---");
+    println!(
+        "{:<8} {:>10} {:>12} {:>10} {:>10} {:>9}",
+        "codec", "arch bytes", "bytes read", "read %", "query ms", "speedup"
+    );
+    let data = Dataset::Miranda.generate(o.size, 0);
+    let shape = data.shape();
+    // A centered box of ~1/5 of each extent: (1/5)^3 ~ 0.8% of points.
+    let origin: Vec<usize> = shape.dims().iter().map(|&d| 2 * d / 5).collect();
+    let size: Vec<usize> = shape.dims().iter().map(|&d| (d / 5).max(1)).collect();
+    let region = Region::new(&origin, &size);
+    // Scale the chunk grid to the dataset so even the tiny smoke size
+    // has a multi-chunk grid for the region to select from.
+    let chunk_side = shape
+        .dims()
+        .iter()
+        .min()
+        .map_or(32, |&d| (d / 4).clamp(4, 32));
+
+    let mut rows = Vec::new();
+    for c in AnyCompressor::paper_set(QualityMetric::Psnr) {
+        let mut w = ArchiveWriter::new().with_chunk_side(chunk_side);
+        w.add_variable("v", &data, &c, ErrorBound::Rel(1e-3))
+            .unwrap();
+        let bytes = w.finish();
+
+        let mut r = ArchiveReader::from_bytes(&bytes).unwrap();
+        let t0 = std::time::Instant::now();
+        let slab = r.read_region::<f32>("v", &region).unwrap();
+        let t_region = t0.elapsed().as_secs_f64();
+        let read = r.bytes_read();
+
+        let mut rf = ArchiveReader::from_bytes(&bytes).unwrap();
+        let t0 = std::time::Instant::now();
+        let full = rf.read_full::<f32>("v").unwrap();
+        let t_full = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            slab.as_slice(),
+            full.extract_region(&region).as_slice(),
+            "{}: region query diverged from full decompress",
+            c.name()
+        );
+
+        let frac = read as f64 / bytes.len() as f64;
+        let speedup = t_full / t_region.max(1e-9);
+        println!(
+            "{:<8} {:>10} {:>12} {:>9.2}% {:>10.2} {:>8.1}x",
+            c.name(),
+            bytes.len(),
+            read,
+            frac * 100.0,
+            t_region * 1e3,
+            speedup
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"backend\": \"{}\", \"dataset\": \"{}\", \"points\": {}, ",
+                "\"eps_rel\": 1e-3, \"region_points\": {}, \"archive_bytes\": {}, ",
+                "\"region_bytes_read\": {}, \"read_fraction\": {:.5}, ",
+                "\"region_ms\": {:.3}, \"full_ms\": {:.3}, \"speedup\": {:.2}}}"
+            ),
+            c.name(),
+            Dataset::Miranda.name(),
+            data.len(),
+            region.len(),
+            bytes.len(),
+            read,
+            frac,
+            t_region * 1e3,
+            t_full * 1e3,
+            speedup
+        ));
+    }
+    rows
 }
 
 /// Table III: compression ratios under the same error bound; QoZ in

@@ -80,6 +80,32 @@ impl AnyCompressor {
     }
 }
 
+/// The trait impl lets harness code hand an [`AnyCompressor`] straight
+/// to generic consumers (`qoz_archive::ArchiveWriter`, `qoz_pario`).
+impl Compressor<f32> for AnyCompressor {
+    fn id(&self) -> qoz_codec::CompressorId {
+        match self {
+            AnyCompressor::Sz2(c) => Compressor::<f32>::id(c),
+            AnyCompressor::Sz3(c) => Compressor::<f32>::id(c),
+            AnyCompressor::Zfp(c) => Compressor::<f32>::id(c),
+            AnyCompressor::Mgard(c) => Compressor::<f32>::id(c),
+            AnyCompressor::Qoz(c) => Compressor::<f32>::id(c),
+        }
+    }
+
+    fn compress(&self, data: &NdArray<f32>, bound: ErrorBound) -> Vec<u8> {
+        AnyCompressor::compress(self, data, bound)
+    }
+
+    fn decompress(&self, blob: &[u8]) -> qoz_codec::Result<NdArray<f32>> {
+        AnyCompressor::decompress(self, blob)
+    }
+
+    fn name(&self) -> &'static str {
+        AnyCompressor::name(self)
+    }
+}
+
 /// All metrics collected from one compress/decompress cycle.
 #[derive(Debug, Clone, Copy)]
 pub struct RunResult {

@@ -77,6 +77,47 @@ pub enum Command {
         /// `true` for f64.
         wide: bool,
     },
+    /// Pack a raw array into an indexed QZAR archive.
+    Archive {
+        /// Input raw file.
+        input: String,
+        /// Output archive file.
+        output: String,
+        /// Array dimensions.
+        dims: Vec<usize>,
+        /// `true` for f64 input, `false` for f32.
+        wide: bool,
+        /// Relative (`true`) or absolute (`false`) bound.
+        relative: bool,
+        /// Bound value.
+        bound: f64,
+        /// Compressor.
+        codec: CodecChoice,
+        /// Variable name stored in the archive.
+        name: String,
+        /// Chunk grid side (elements per dimension).
+        chunk: usize,
+    },
+    /// Extract a full variable or a region from an archive.
+    Extract {
+        /// Input archive file.
+        input: String,
+        /// Output raw file.
+        output: String,
+        /// Variable name (`None` = first variable).
+        var: Option<String>,
+        /// Region origin (`None` = full variable).
+        origin: Option<Vec<usize>>,
+        /// Region size (`None` = full variable).
+        size: Option<Vec<usize>>,
+    },
+    /// Print an archive's table of contents.
+    Inspect {
+        /// Input archive file.
+        input: String,
+        /// Also verify every chunk checksum.
+        verify: bool,
+    },
     /// Generate a synthetic dataset.
     Gen {
         /// Dataset name (cesm/miranda/rtm/nyx/hurricane/letkf).
@@ -90,17 +131,27 @@ pub enum Command {
     Help,
 }
 
-/// Parse `AxBxC`-style dimension strings.
+/// Parse `AxBxC`-style dimension strings (extents must be nonzero).
 pub fn parse_dims(s: &str) -> Result<Vec<usize>, CliError> {
-    let dims: Result<Vec<usize>, _> = s
-        .split(['x', 'X', ','])
-        .map(|p| p.trim().parse::<usize>())
-        .collect();
-    let dims = dims.map_err(|_| CliError::usage(format!("bad dimensions '{s}'")))?;
-    if dims.is_empty() || dims.len() > qoz_tensor::MAX_NDIM || dims.contains(&0) {
+    let dims = parse_coords(s).map_err(|_| CliError::usage(format!("bad dimensions '{s}'")))?;
+    if dims.contains(&0) {
         return Err(CliError::usage(format!("bad dimensions '{s}'")));
     }
     Ok(dims)
+}
+
+/// Parse `AxBxC`-style coordinate strings. Unlike [`parse_dims`], zero
+/// components are allowed — a region origin is usually `0x0x0`.
+pub fn parse_coords(s: &str) -> Result<Vec<usize>, CliError> {
+    let coords: Result<Vec<usize>, _> = s
+        .split(['x', 'X', ','])
+        .map(|p| p.trim().parse::<usize>())
+        .collect();
+    let coords = coords.map_err(|_| CliError::usage(format!("bad coordinates '{s}'")))?;
+    if coords.is_empty() || coords.len() > qoz_tensor::MAX_NDIM {
+        return Err(CliError::usage(format!("bad coordinates '{s}'")));
+    }
+    Ok(coords)
 }
 
 fn metric_of(s: &str) -> Result<QualityMetric, CliError> {
@@ -131,6 +182,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let require = |name: &str| -> Result<&str, CliError> {
         get_flag(name).ok_or_else(|| CliError::usage(format!("missing required flag {name}")))
     };
+    let has_flag = |name: &str| rest.iter().any(|a| a.as_str() == name);
+    // A non-positive or non-finite bound would panic deep inside
+    // `ErrorBound::absolute`; reject it here as a usage error.
+    let bound_of = |name: &str| -> Result<f64, CliError> {
+        require(name)?
+            .parse::<f64>()
+            .ok()
+            .filter(|b| b.is_finite() && *b > 0.0)
+            .ok_or_else(|| CliError::usage(format!("bad bound value for {name}")))
+    };
 
     match sub {
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -140,9 +201,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             dims: parse_dims(require("-d")?)?,
             wide: get_flag("-t").map(|t| t == "f64").unwrap_or(false),
             relative: get_flag("-m").map(|m| m != "abs").unwrap_or(true),
-            bound: require("-e")?
-                .parse()
-                .map_err(|_| CliError::usage("bad bound value for -e"))?,
+            bound: bound_of("-e")?,
             codec: get_flag("--codec")
                 .map(CodecChoice::parse)
                 .transpose()?
@@ -165,6 +224,47 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             dims: parse_dims(require("-d")?)?,
             wide: get_flag("-t").map(|t| t == "f64").unwrap_or(false),
         }),
+        "archive" => Ok(Command::Archive {
+            input: require("-i")?.to_string(),
+            output: require("-o")?.to_string(),
+            dims: parse_dims(require("-d")?)?,
+            wide: get_flag("-t").map(|t| t == "f64").unwrap_or(false),
+            relative: get_flag("-m").map(|m| m != "abs").unwrap_or(true),
+            bound: bound_of("-e")?,
+            codec: get_flag("--codec")
+                .map(CodecChoice::parse)
+                .transpose()?
+                .unwrap_or_default(),
+            name: get_flag("--name").unwrap_or("var0").to_string(),
+            chunk: match get_flag("--chunk") {
+                None => qoz_archive::writer::DEFAULT_CHUNK_SIDE,
+                Some(c) => c
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&c| c > 0)
+                    .ok_or_else(|| CliError::usage("bad --chunk value"))?,
+            },
+        }),
+        "extract" => {
+            let origin = get_flag("--origin").map(parse_coords).transpose()?;
+            let size = get_flag("--size").map(parse_dims).transpose()?;
+            if origin.is_some() != size.is_some() {
+                return Err(CliError::usage(
+                    "--origin and --size must be given together",
+                ));
+            }
+            Ok(Command::Extract {
+                input: require("-i")?.to_string(),
+                output: require("-o")?.to_string(),
+                var: get_flag("--var").map(str::to_string),
+                origin,
+                size,
+            })
+        }
+        "inspect" => Ok(Command::Inspect {
+            input: require("-i")?.to_string(),
+            verify: has_flag("--verify"),
+        }),
         "gen" => Ok(Command::Gen {
             dataset: require("-D")?.to_string(),
             size: get_flag("-s").unwrap_or("small").to_string(),
@@ -184,6 +284,12 @@ USAGE:
                  [--metric cr|psnr|ssim|ac]
   qoz decompress -i out.qz -o recon.f32
   qoz info       -i out.qz
+  qoz archive    -i in.f32 -o out.qza -d 512x512x512 -e 1e-3 [-m rel|abs]
+                 [-t f32|f64] [--codec qoz|sz3|sz2|zfp|mgard]
+                 [--name VAR] [--chunk 32]
+  qoz extract    -i out.qza -o slab.f32 [--var VAR]
+                 [--origin 0x0x0 --size 64x64x64]
+  qoz inspect    -i out.qza [--verify]
   qoz eval       -i in.f32 -r recon.f32 -d 512x512x512 [-t f32|f64]
   qoz gen        -D miranda [-s tiny|small|medium] -o data.f32
   qoz help
@@ -205,6 +311,13 @@ mod tests {
         assert!(parse_dims("0x4").is_err());
         assert!(parse_dims("axb").is_err());
         assert!(parse_dims("1x2x3x4x5").is_err());
+    }
+
+    #[test]
+    fn parse_coords_allows_zeros() {
+        assert_eq!(parse_coords("0x0x8").unwrap(), vec![0, 0, 8]);
+        assert!(parse_coords("axb").is_err());
+        assert!(parse_coords("1x2x3x4x5").is_err());
     }
 
     #[test]
@@ -266,6 +379,101 @@ mod tests {
         assert!(parse(&sv(&["compress", "-i", "a"])).is_err());
         assert!(parse(&sv(&["decompress", "-i", "a"])).is_err());
         assert!(parse(&sv(&["nonsense"])).is_err());
+    }
+
+    #[test]
+    fn parse_archive_full() {
+        let cmd = parse(&sv(&[
+            "archive", "-i", "a.f32", "-o", "a.qza", "-d", "64x64x64", "-e", "1e-3", "--codec",
+            "zfp", "--name", "temp", "--chunk", "16",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Archive {
+                input,
+                output,
+                dims,
+                codec,
+                name,
+                chunk,
+                relative,
+                ..
+            } => {
+                assert_eq!(input, "a.f32");
+                assert_eq!(output, "a.qza");
+                assert_eq!(dims, vec![64, 64, 64]);
+                assert_eq!(codec, CodecChoice::Zfp);
+                assert_eq!(name, "temp");
+                assert_eq!(chunk, 16);
+                assert!(relative);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Defaults.
+        let cmd = parse(&sv(&[
+            "archive", "-i", "a", "-o", "b", "-d", "8x8", "-e", "0.1",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Archive { name, chunk, .. } => {
+                assert_eq!(name, "var0");
+                assert_eq!(chunk, qoz_archive::writer::DEFAULT_CHUNK_SIDE);
+            }
+            _ => unreachable!(),
+        }
+        assert!(parse(&sv(&[
+            "archive", "-i", "a", "-o", "b", "-d", "8x8", "-e", "0.1", "--chunk", "0"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn non_positive_bounds_are_usage_errors() {
+        // A bad -e must exit 2 at parse time, never panic later inside
+        // ErrorBound::absolute.
+        for bad in ["-1", "0", "nan", "inf", "x"] {
+            for cmd in ["compress", "archive"] {
+                let r = parse(&sv(&[cmd, "-i", "a", "-o", "b", "-d", "8x8", "-e", bad]));
+                assert!(r.is_err(), "{cmd} accepted -e {bad}");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_extract_and_inspect() {
+        let cmd = parse(&sv(&[
+            "extract", "-i", "a.qza", "-o", "s.f32", "--var", "temp", "--origin", "0x0x8",
+            "--size", "4x4x4",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Extract {
+                var, origin, size, ..
+            } => {
+                assert_eq!(var.as_deref(), Some("temp"));
+                assert_eq!(origin, Some(vec![0, 0, 8]));
+                assert_eq!(size, Some(vec![4, 4, 4]));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Origin without size (and vice versa) is a usage error.
+        assert!(parse(&sv(&["extract", "-i", "a", "-o", "b", "--origin", "0x0"])).is_err());
+        assert!(parse(&sv(&["extract", "-i", "a", "-o", "b", "--size", "2x2"])).is_err());
+
+        assert_eq!(
+            parse(&sv(&["inspect", "-i", "a.qza"])).unwrap(),
+            Command::Inspect {
+                input: "a.qza".into(),
+                verify: false
+            }
+        );
+        assert_eq!(
+            parse(&sv(&["inspect", "-i", "a.qza", "--verify"])).unwrap(),
+            Command::Inspect {
+                input: "a.qza".into(),
+                verify: true
+            }
+        );
     }
 
     #[test]

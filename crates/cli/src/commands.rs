@@ -3,11 +3,15 @@
 use crate::args::{CodecChoice, Command, USAGE};
 use crate::rawio;
 use crate::CliError;
+use qoz_archive::{ArchiveReader, ArchiveWriter};
 use qoz_codec::stream::{Compressor, ErrorBound};
 use qoz_metrics::{QualityMetric, QualityReport};
-use qoz_tensor::{NdArray, Scalar, Shape};
+use qoz_tensor::{NdArray, Region, Scalar, Shape};
 
-fn make_codec<T: Scalar>(choice: CodecChoice, metric: QualityMetric) -> Box<dyn Compressor<T>> {
+fn make_codec<T: Scalar>(
+    choice: CodecChoice,
+    metric: QualityMetric,
+) -> Box<dyn Compressor<T> + Sync> {
     match choice {
         CodecChoice::Qoz => Box::new(qoz_core::Qoz::for_metric(metric)),
         CodecChoice::Sz3 => Box::new(qoz_sz3::Sz3::default()),
@@ -58,13 +62,114 @@ pub fn run(cmd: Command) -> Result<Vec<String>, CliError> {
             let blob = rawio::read_bytes(&input)?;
             let header = peek_header(&blob)?;
             if header.scalar_tag == f64::TYPE_TAG {
-                let data: NdArray<f64> = dispatch_decompress(&blob, header.compressor)?;
+                let data: NdArray<f64> =
+                    qoz_archive::decompress_stream(&blob).map_err(stream_err)?;
                 rawio::write_raw(&output, &data)?;
             } else {
-                let data: NdArray<f32> = dispatch_decompress(&blob, header.compressor)?;
+                let data: NdArray<f32> =
+                    qoz_archive::decompress_stream(&blob).map_err(stream_err)?;
                 rawio::write_raw(&output, &data)?;
             }
             Ok(vec![format!("{input} -> {output}")])
+        }
+        Command::Archive {
+            input,
+            output,
+            dims,
+            wide,
+            relative,
+            bound,
+            codec,
+            name,
+            chunk,
+        } => {
+            let shape = Shape::new(&dims);
+            let bound = if relative {
+                ErrorBound::Rel(bound)
+            } else {
+                ErrorBound::Abs(bound)
+            };
+            let mut w = ArchiveWriter::new().with_chunk_side(chunk);
+            let (raw_bytes, chunks) = if wide {
+                let data: NdArray<f64> = rawio::read_raw(&input, shape)?;
+                let c = make_codec::<f64>(codec, QualityMetric::default());
+                w.add_variable(&name, &data, &*c, bound)?;
+                (data.len() * 8, w.toc().vars[0].chunks.len())
+            } else {
+                let data: NdArray<f32> = rawio::read_raw(&input, shape)?;
+                let c = make_codec::<f32>(codec, QualityMetric::default());
+                w.add_variable(&name, &data, &*c, bound)?;
+                (data.len() * 4, w.toc().vars[0].chunks.len())
+            };
+            let written = w.write_to(&output)?;
+            Ok(vec![format!(
+                "{input} -> {output}: {raw_bytes} -> {written} bytes \
+                 (CR {:.2}x, {chunks} chunks of side {chunk})",
+                raw_bytes as f64 / written as f64
+            )])
+        }
+        Command::Extract {
+            input,
+            output,
+            var,
+            origin,
+            size,
+        } => {
+            let mut r = ArchiveReader::open(&input)?;
+            let name = match var {
+                Some(v) => v,
+                None => {
+                    let first = r
+                        .toc()
+                        .vars
+                        .first()
+                        .ok_or_else(|| CliError::runtime("archive holds no variables"))?;
+                    first.name.clone()
+                }
+            };
+            let meta = r.toc().var(&name)?.clone();
+            let region = match (&origin, &size) {
+                (Some(o), Some(s)) => {
+                    if o.len() != s.len() {
+                        return Err(CliError::usage("--origin and --size rank mismatch"));
+                    }
+                    Region::new(o, s)
+                }
+                _ => Region::full(meta.shape),
+            };
+            if meta.scalar_tag == f64::TYPE_TAG {
+                let data: NdArray<f64> = r.read_region(&name, &region)?;
+                rawio::write_raw(&output, &data)?;
+            } else {
+                let data: NdArray<f32> = r.read_region(&name, &region)?;
+                rawio::write_raw(&output, &data)?;
+            }
+            Ok(vec![format!(
+                "{input}[{name}] {:?}+{:?} -> {output} ({} of {} archive bytes read)",
+                region.origin(),
+                region.size(),
+                r.bytes_read(),
+                r.archive_len()
+            )])
+        }
+        Command::Inspect { input, verify } => {
+            let mut r = ArchiveReader::open(&input)?;
+            let mut out = vec![
+                format!("archive       : {input}"),
+                format!("size          : {} bytes", r.archive_len()),
+                format!("variables     : {}", r.toc().vars.len()),
+            ];
+            for line in qoz_archive::reader::describe(r.toc()) {
+                out.push(format!("  {line}"));
+            }
+            if verify {
+                let report = r.verify()?;
+                out.push(format!(
+                    "verify        : OK — {} chunks across {} variables, {} payload bytes",
+                    report.chunks, report.vars, report.payload_bytes
+                ));
+            }
+            Ok(out)
         }
         Command::Info { input } => {
             let blob = rawio::read_bytes(&input)?;
@@ -141,24 +246,17 @@ pub fn run(cmd: Command) -> Result<Vec<String>, CliError> {
     }
 }
 
-fn peek_header(blob: &[u8]) -> Result<qoz_codec::Header, CliError> {
-    let mut r = qoz_codec::ByteReader::new(blob);
-    Ok(qoz_codec::stream::read_header(&mut r)?)
+// Unwrap the archive layer's Codec wrapper so plain-stream commands
+// keep reporting "codec error", not "archive error".
+fn stream_err(e: qoz_archive::ArchiveError) -> CliError {
+    match e {
+        qoz_archive::ArchiveError::Codec(c) => c.into(),
+        other => other.into(),
+    }
 }
 
-fn dispatch_decompress<T: Scalar>(
-    blob: &[u8],
-    id: qoz_codec::CompressorId,
-) -> Result<NdArray<T>, CliError> {
-    use qoz_codec::CompressorId::*;
-    let out = match id {
-        Qoz => qoz_core::Qoz::default().decompress_typed(blob)?,
-        Sz3 => qoz_sz3::Sz3::default().decompress_typed(blob)?,
-        Sz2 => qoz_sz2::Sz2::default().decompress_typed(blob)?,
-        Zfp => qoz_zfp::Zfp.decompress_typed(blob)?,
-        Mgard => qoz_mgard::Mgard.decompress_typed(blob)?,
-    };
-    Ok(out)
+fn peek_header(blob: &[u8]) -> Result<qoz_codec::Header, CliError> {
+    qoz_archive::dispatch::peek_header(blob).map_err(stream_err)
 }
 
 #[cfg(test)]
@@ -258,8 +356,76 @@ mod tests {
     #[test]
     fn help_contains_all_commands() {
         let out = run(Command::Help).unwrap();
-        for c in ["compress", "decompress", "info", "eval", "gen"] {
+        for c in [
+            "compress",
+            "decompress",
+            "info",
+            "eval",
+            "gen",
+            "archive",
+            "extract",
+            "inspect",
+        ] {
             assert!(out[0].contains(c));
         }
+    }
+
+    #[test]
+    fn archive_pipeline_roundtrip() {
+        let raw = tmp("arch.f32");
+        let qza = tmp("arch.qza");
+        let full = tmp("arch_full.f32");
+        let slab = tmp("arch_slab.f32");
+
+        run(parse(&sv(&["gen", "-D", "miranda", "-s", "tiny", "-o", &raw])).unwrap()).unwrap();
+        let out = run(parse(&sv(&[
+            "archive", "-i", &raw, "-o", &qza, "-d", "24x32x32", "-e", "1e-3", "--name", "v",
+            "--chunk", "16",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out[0].contains("chunks"), "{out:?}");
+
+        let info = run(parse(&sv(&["inspect", "-i", &qza, "--verify"])).unwrap()).unwrap();
+        assert!(info.iter().any(|l| l.contains("v:")), "{info:?}");
+        assert!(
+            info.iter().any(|l| l.contains("verify        : OK")),
+            "{info:?}"
+        );
+
+        // Full extraction, then a region; the region must equal the
+        // corresponding slice of the full extraction.
+        run(parse(&sv(&["extract", "-i", &qza, "-o", &full])).unwrap()).unwrap();
+        run(parse(&sv(&[
+            "extract", "-i", &qza, "-o", &slab, "--var", "v", "--origin", "4x8x8", "--size",
+            "8x8x16",
+        ]))
+        .unwrap())
+        .unwrap();
+        let whole: NdArray<f32> = rawio::read_raw(&full, Shape::d3(24, 32, 32)).unwrap();
+        let part: NdArray<f32> = rawio::read_raw(&slab, Shape::d3(8, 8, 16)).unwrap();
+        let expect = whole.extract_region(&Region::new(&[4, 8, 8], &[8, 8, 16]));
+        assert_eq!(part.as_slice(), expect.as_slice());
+
+        // Original data must be within bound of the full extraction.
+        let orig: NdArray<f32> = rawio::read_raw(&raw, Shape::d3(24, 32, 32)).unwrap();
+        let abs = ErrorBound::Rel(1e-3).absolute(&orig);
+        assert!(orig.max_abs_diff(&whole) <= abs * (1.0 + 1e-9));
+
+        for f in [&raw, &qza, &full, &slab] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn inspect_rejects_non_archive() {
+        let path = tmp("notqza");
+        std::fs::write(&path, b"definitely not an archive").unwrap();
+        let r = run(Command::Inspect {
+            input: path.clone(),
+            verify: false,
+        });
+        assert!(r.is_err());
+        std::fs::remove_file(&path).ok();
     }
 }

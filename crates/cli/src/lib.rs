@@ -11,7 +11,7 @@ pub mod args;
 pub mod commands;
 pub mod rawio;
 
-pub use args::{parse_dims, CodecChoice, Command};
+pub use args::{parse_coords, parse_dims, CodecChoice, Command};
 pub use commands::run;
 
 /// CLI error type: message + suggested exit code.
@@ -57,5 +57,11 @@ impl From<std::io::Error> for CliError {
 impl From<qoz_codec::CodecError> for CliError {
     fn from(e: qoz_codec::CodecError) -> Self {
         CliError::runtime(format!("codec error: {e}"))
+    }
+}
+
+impl From<qoz_archive::ArchiveError> for CliError {
+    fn from(e: qoz_archive::ArchiveError) -> Self {
+        CliError::runtime(format!("archive error: {e}"))
     }
 }

@@ -38,7 +38,26 @@ pub enum CodecError {
     /// A header/field contained an invalid value.
     Corrupt(&'static str),
     /// The stream was produced by an incompatible format version.
-    BadVersion(u8),
+    ///
+    /// Carries both the version found in the stream and the highest
+    /// version this build supports, so consumers (e.g. the archive
+    /// reader) can tell "written by a newer release" apart from plain
+    /// corruption.
+    BadVersion {
+        /// Version byte found in the stream.
+        found: u8,
+        /// Highest version this build can decode.
+        supported: u8,
+    },
+}
+
+impl CodecError {
+    /// `true` when the error is a version mismatch against a *newer*
+    /// format than this build supports — i.e. the stream is probably
+    /// valid, just unreadable here. Upgrade, don't assume corruption.
+    pub fn is_newer_format(&self) -> bool {
+        matches!(self, CodecError::BadVersion { found, supported } if found > supported)
+    }
 }
 
 impl std::fmt::Display for CodecError {
@@ -46,7 +65,10 @@ impl std::fmt::Display for CodecError {
         match self {
             CodecError::UnexpectedEof => write!(f, "unexpected end of compressed stream"),
             CodecError::Corrupt(what) => write!(f, "corrupt compressed stream: {what}"),
-            CodecError::BadVersion(v) => write!(f, "unsupported stream version {v}"),
+            CodecError::BadVersion { found, supported } => write!(
+                f,
+                "unsupported stream version {found} (this build reads <= {supported})"
+            ),
         }
     }
 }

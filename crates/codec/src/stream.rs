@@ -123,7 +123,10 @@ pub fn read_header(r: &mut ByteReader) -> Result<Header> {
     }
     let version = r.get_u8()?;
     if version != VERSION {
-        return Err(CodecError::BadVersion(version));
+        return Err(CodecError::BadVersion {
+            found: version,
+            supported: VERSION,
+        });
     }
     let compressor = CompressorId::from_u8(r.get_u8()?)?;
     let scalar_tag = r.get_u8()?;
@@ -210,7 +213,40 @@ mod tests {
         let mut buf = w.finish();
         buf[4] = 99; // version byte
         let mut r = ByteReader::new(&buf);
-        assert_eq!(read_header(&mut r), Err(CodecError::BadVersion(99)));
+        assert_eq!(
+            read_header(&mut r),
+            Err(CodecError::BadVersion {
+                found: 99,
+                supported: VERSION
+            })
+        );
+    }
+
+    #[test]
+    fn newer_version_distinguished_from_corruption() {
+        let h = Header {
+            compressor: CompressorId::Qoz,
+            scalar_tag: f32::TYPE_TAG,
+            shape: Shape::d1(8),
+            abs_eb: 1e-2,
+        };
+        let mut w = ByteWriter::new();
+        write_header(&mut w, &h);
+        let mut buf = w.finish();
+        // A future format version must read as "newer", not "corrupt".
+        buf[4] = VERSION + 1;
+        let mut r = ByteReader::new(&buf);
+        let err = read_header(&mut r).unwrap_err();
+        assert!(err.is_newer_format(), "{err}");
+        // An older (impossible) version 0 is a mismatch but NOT newer.
+        buf[4] = 0;
+        let mut r = ByteReader::new(&buf);
+        let err = read_header(&mut r).unwrap_err();
+        assert!(matches!(err, CodecError::BadVersion { .. }));
+        assert!(!err.is_newer_format());
+        // Plain corruption never reports as a version problem.
+        assert!(!CodecError::Corrupt("x").is_newer_format());
+        assert!(!CodecError::UnexpectedEof.is_newer_format());
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub fn compress_chunks<T, C>(
 ) -> Vec<Vec<u8>>
 where
     T: Scalar,
-    C: Compressor<T> + Sync,
+    C: Compressor<T> + Sync + ?Sized,
 {
     if chunks.is_empty() {
         return Vec::new();
@@ -78,7 +78,7 @@ pub fn decompress_chunks<T, C>(
 ) -> Result<Vec<NdArray<T>>>
 where
     T: Scalar,
-    C: Compressor<T> + Sync,
+    C: Compressor<T> + Sync + ?Sized,
 {
     if blobs.is_empty() {
         return Ok(Vec::new());

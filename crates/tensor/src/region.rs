@@ -85,9 +85,55 @@ impl Region {
         }
     }
 
-    /// Split a shape into a grid of regions of at most `block` elements per
-    /// side (edge regions may be smaller). This is the anchor-block
-    /// partitioning used by QoZ.
+    /// Clip this region to another, returning the overlap.
+    ///
+    /// Both regions must have the same rank (coordinates are in the same
+    /// array's index space). Returns `None` when they do not overlap in
+    /// some dimension — regions are half-open boxes `[origin,
+    /// origin+size)`, so mere edge adjacency is *not* an overlap.
+    pub fn intersect(&self, other: &Region) -> Option<Region> {
+        assert_eq!(self.ndim, other.ndim, "region rank mismatch");
+        let mut origin = [0usize; MAX_NDIM];
+        let mut size = [1usize; MAX_NDIM];
+        for d in 0..self.ndim {
+            let lo = self.origin[d].max(other.origin[d]);
+            // Saturating: a half-open box clipped at usize::MAX cannot
+            // extend past it, so saturation never invents an overlap —
+            // while wrapping addition would fabricate or drop one.
+            let hi = self.origin[d]
+                .saturating_add(self.size[d])
+                .min(other.origin[d].saturating_add(other.size[d]));
+            if lo >= hi {
+                return None;
+            }
+            origin[d] = lo;
+            size[d] = hi - lo;
+        }
+        Some(Region {
+            origin,
+            size,
+            ndim: self.ndim,
+        })
+    }
+
+    /// Split a shape into a grid of regions of at most `block` elements
+    /// per side. This is the anchor-block partitioning used by QoZ and
+    /// the chunk grid of `qoz_archive`.
+    ///
+    /// Edge behaviour (relied upon by the archive chunk index):
+    ///
+    /// * The grid has `ceil(dim / block)` regions along each dimension —
+    ///   every element is covered by exactly one region.
+    /// * Interior regions are exactly `block` long per side; only the
+    ///   *last* region along a dimension shrinks to `dim % block` when
+    ///   the extent does not divide evenly (it is never 0).
+    /// * A `block` larger than every extent yields a single region equal
+    ///   to `Region::full(shape)`; `block == 1` yields one region per
+    ///   element.
+    /// * Regions are returned in row-major order of their grid position,
+    ///   so the k-th region's grid coordinate is `grid.multi_index(k)`
+    ///   where `grid` is the shape of per-dimension counts. Callers may
+    ///   index chunk tables by this ordering.
     pub fn tile(shape: Shape, block: usize) -> Vec<Region> {
         assert!(block > 0, "block size must be positive");
         let nd = shape.ndim();
@@ -155,5 +201,122 @@ mod tests {
     fn tile_3d_counts() {
         let s = Shape::d3(8, 8, 8);
         assert_eq!(Region::tile(s, 4).len(), 8);
+    }
+
+    /// Every element is covered exactly once, whatever the divisibility.
+    fn assert_exact_cover(shape: Shape, block: usize) {
+        let tiles = Region::tile(shape, block);
+        let mut seen = vec![0u32; shape.len()];
+        for t in &tiles {
+            t.validate(shape);
+            let sub = Shape::new(t.size());
+            for idx in sub.indices() {
+                let mut g = [0usize; MAX_NDIM];
+                for d in 0..shape.ndim() {
+                    g[d] = t.origin()[d] + idx[d];
+                }
+                seen[shape.offset(&g[..shape.ndim()])] += 1;
+            }
+        }
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "tile({shape:?}, {block}) does not cover exactly once"
+        );
+    }
+
+    #[test]
+    fn tile_non_divisible_shapes_cover_exactly() {
+        // Prime extents against a non-dividing block: every interior
+        // region is full-sized, only the trailing ones shrink.
+        let s = Shape::d2(13, 7);
+        assert_exact_cover(s, 5);
+        let tiles = Region::tile(s, 5);
+        assert_eq!(tiles.len(), 3 * 2);
+        assert_eq!(tiles[0].size(), &[5, 5]);
+        assert_eq!(tiles.last().unwrap().size(), &[3, 2]); // 13%5, 7%5
+        assert_exact_cover(Shape::d3(9, 10, 11), 4);
+    }
+
+    #[test]
+    fn tile_rank4_grid() {
+        let s = Shape::new(&[5, 4, 6, 3]);
+        let tiles = Region::tile(s, 3);
+        // ceil(5/3)*ceil(4/3)*ceil(6/3)*ceil(3/3) = 2*2*2*1.
+        assert_eq!(tiles.len(), 8);
+        assert_exact_cover(s, 3);
+        // Row-major grid order: the last tile sits at the high corner.
+        assert_eq!(tiles.last().unwrap().origin(), &[3, 3, 3, 0]);
+        assert_eq!(tiles.last().unwrap().size(), &[2, 1, 3, 3]);
+    }
+
+    #[test]
+    fn tile_one_element_blocks() {
+        let s = Shape::d2(3, 2);
+        let tiles = Region::tile(s, 1);
+        assert_eq!(tiles.len(), 6);
+        assert!(tiles.iter().all(|t| t.len() == 1));
+        assert_exact_cover(s, 1);
+    }
+
+    #[test]
+    fn intersect_basic_and_disjoint() {
+        let a = Region::new(&[0, 0], &[4, 4]);
+        let b = Region::new(&[2, 3], &[5, 5]);
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i.origin(), &[2, 3]);
+        assert_eq!(i.size(), &[2, 1]);
+        // Symmetric.
+        assert_eq!(b.intersect(&a).unwrap(), i);
+        // Adjacent boxes (half-open) do not overlap.
+        let c = Region::new(&[4, 0], &[2, 4]);
+        assert_eq!(a.intersect(&c), None);
+        // Fully disjoint.
+        let d = Region::new(&[10, 10], &[1, 1]);
+        assert_eq!(a.intersect(&d), None);
+    }
+
+    #[test]
+    fn intersect_containment() {
+        let outer = Region::new(&[0, 0, 0], &[8, 8, 8]);
+        let inner = Region::new(&[2, 3, 4], &[2, 2, 2]);
+        assert_eq!(outer.intersect(&inner).unwrap(), inner);
+        assert_eq!(inner.intersect(&outer).unwrap(), inner);
+        assert_eq!(outer.intersect(&outer).unwrap(), outer);
+    }
+
+    #[test]
+    fn intersect_with_tiles_partitions_query() {
+        // Intersecting a query region with every tile partitions the
+        // query — this is exactly the archive read_region invariant.
+        let s = Shape::d3(10, 9, 8);
+        let query = Region::new(&[1, 2, 3], &[7, 6, 4]);
+        let total: usize = Region::tile(s, 4)
+            .iter()
+            .filter_map(|t| t.intersect(&query))
+            .map(|r| r.len())
+            .sum();
+        assert_eq!(total, query.len());
+    }
+
+    #[test]
+    fn intersect_near_usize_max_does_not_wrap() {
+        // origin + size overflowing usize must neither panic (debug) nor
+        // wrap into a bogus answer (release).
+        let huge = Region::new(&[usize::MAX - 1], &[4]);
+        let low = Region::new(&[0], &[10]);
+        assert_eq!(huge.intersect(&low), None);
+        let touching = Region::new(&[usize::MAX - 1], &[usize::MAX]);
+        assert_eq!(
+            touching
+                .intersect(&Region::new(&[usize::MAX - 2], &[2]))
+                .unwrap(),
+            Region::new(&[usize::MAX - 1], &[1])
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn intersect_rank_mismatch_panics() {
+        let _ = Region::new(&[0], &[2]).intersect(&Region::new(&[0, 0], &[2, 2]));
     }
 }

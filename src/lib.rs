@@ -30,6 +30,7 @@
 //! paper-vs-measured results. The `repro` binary (in `qoz-bench`)
 //! regenerates every table and figure.
 
+pub use qoz_archive as archive;
 pub use qoz_codec as codec;
 pub use qoz_core as qoz;
 pub use qoz_datagen as datagen;
