@@ -1,69 +1,64 @@
-//! Backend dispatch for self-describing `qoz_codec::stream` blobs.
+//! Deprecated shims: backend dispatch moved to [`qoz_api`].
 //!
-//! Archive chunks are ordinary workspace streams; their headers name the
-//! producing compressor, so decoding only needs the blob itself. This is
-//! the one place that maps a [`CompressorId`] back to a concrete backend
-//! (the CLI reuses it for `qoz decompress`).
+//! This module used to own the workspace's `CompressorId -> backend`
+//! mapping. That mapping now lives in [`qoz_api::BackendRegistry`] —
+//! the single registry every consumer (archive, CLI, bench) dispatches
+//! through. These thin delegating wrappers keep old call sites
+//! compiling for one release and will be removed afterwards.
 
 use crate::Result;
-use qoz_codec::stream::{Compressor, CompressorId};
-use qoz_codec::{ByteReader, Header};
+use qoz_api::{BackendRegistry, Codec};
+use qoz_codec::stream::CompressorId;
+use qoz_codec::Header;
 use qoz_tensor::{NdArray, Scalar};
 
 /// Parse just the stream header of a blob.
+#[deprecated(since = "0.2.0", note = "use `qoz_api::peek_header` instead")]
 pub fn peek_header(blob: &[u8]) -> Result<Header> {
-    let mut r = ByteReader::new(blob);
-    Ok(qoz_codec::stream::read_header(&mut r)?)
+    Ok(qoz_api::peek_header(blob)?)
 }
 
-/// A default-configured backend for a [`CompressorId`] (configuration
-/// only affects compression; decompression is driven by the stream).
-pub fn compressor_for<T: Scalar>(id: CompressorId) -> Box<dyn Compressor<T> + Sync> {
-    match id {
-        CompressorId::Qoz => Box::new(qoz_core::Qoz::default()),
-        CompressorId::Sz3 => Box::new(qoz_sz3::Sz3::default()),
-        CompressorId::Sz2 => Box::new(qoz_sz2::Sz2::default()),
-        CompressorId::Zfp => Box::new(qoz_zfp::Zfp),
-        CompressorId::Mgard => Box::new(qoz_mgard::Mgard),
-    }
+/// A default-configured backend for a [`CompressorId`].
+///
+/// Note the return type is now the facade's `Box<dyn Codec<T>>` rather
+/// than the old `Box<dyn Compressor<T> + Sync>`. `dyn Codec<T>`
+/// implements `Compressor<T> + Sync`, so every *use* of the result
+/// (method calls, passing to `qoz_pario`/`ArchiveWriter` generics)
+/// keeps compiling — only exact old type annotations need updating.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `qoz_api::BackendRegistry::codec` instead"
+)]
+pub fn compressor_for<T: Scalar>(id: CompressorId) -> Box<dyn Codec<T>> {
+    BackendRegistry::new().codec::<T>(id)
 }
 
 /// Decompress any workspace stream, dispatching on the header's
 /// compressor id.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `qoz_api::decompress_stream` (or `BackendRegistry::decompress`) instead"
+)]
 pub fn decompress_stream<T: Scalar>(blob: &[u8]) -> Result<NdArray<T>> {
-    let header = peek_header(blob)?;
-    Ok(compressor_for::<T>(header.compressor).decompress(blob)?)
+    Ok(qoz_api::decompress_stream(blob)?)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use qoz_codec::stream::{Compressor, ErrorBound};
+    use qoz_codec::stream::ErrorBound;
     use qoz_tensor::Shape;
 
     #[test]
-    fn dispatch_decodes_every_backend() {
+    fn shims_still_delegate() {
         let data = NdArray::from_fn(Shape::d2(16, 16), |i| {
             (i[0] as f32 * 0.3).sin() + i[1] as f32 * 0.05
         });
-        let bound = ErrorBound::Abs(1e-3);
-        let blobs: Vec<Vec<u8>> = vec![
-            qoz_core::Qoz::default().compress(&data, bound),
-            qoz_sz3::Sz3::default().compress(&data, bound),
-            qoz_sz2::Sz2::default().compress(&data, bound),
-            qoz_zfp::Zfp.compress(&data, bound),
-            qoz_mgard::Mgard.compress(&data, bound),
-        ];
-        for blob in blobs {
-            let recon: NdArray<f32> = decompress_stream(&blob).unwrap();
-            assert_eq!(recon.shape(), data.shape());
-            assert!(data.max_abs_diff(&recon) <= 1e-3 * (1.0 + 1e-9));
-        }
-    }
-
-    #[test]
-    fn dispatch_rejects_garbage() {
+        let blob = compressor_for::<f32>(CompressorId::Sz3).compress(&data, ErrorBound::Abs(1e-3));
+        assert_eq!(peek_header(&blob).unwrap().compressor, CompressorId::Sz3);
+        let recon: NdArray<f32> = decompress_stream(&blob).unwrap();
+        assert!(data.max_abs_diff(&recon) <= 1e-3 * (1.0 + 1e-9));
         assert!(decompress_stream::<f32>(b"junk").is_err());
-        assert!(decompress_stream::<f32>(&[]).is_err());
     }
 }

@@ -10,7 +10,7 @@
 //! *independent* `qoz_codec::stream` blob.
 //!
 //! * [`ArchiveWriter`] compresses chunks in parallel (through
-//!   `qoz_pario`'s disjoint-slab workers) with any [`Compressor`]
+//!   `qoz_pario`'s disjoint-slab workers) with any [`Compressor`](qoz_codec::Compressor)
 //!   backend and emits the container;
 //! * [`ArchiveReader`] answers `read_region` queries by fetching and
 //!   decompressing only the chunks that intersect the request, stitches
@@ -21,6 +21,7 @@
 //!   observable.
 //!
 //! ```
+//! use qoz_api::{BackendId, BackendRegistry};
 //! use qoz_archive::{ArchiveReader, ArchiveWriter};
 //! use qoz_codec::stream::ErrorBound;
 //! use qoz_tensor::{NdArray, Region, Shape};
@@ -28,8 +29,9 @@
 //! let data = NdArray::from_fn(Shape::d3(20, 20, 20), |i| {
 //!     (i[0] as f32 * 0.2).sin() + (i[1] as f32 * 0.1).cos() + i[2] as f32 * 0.01
 //! });
+//! let codec = BackendRegistry::new().codec::<f32>(BackendId::Sz3);
 //! let mut w = ArchiveWriter::new().with_chunk_side(8);
-//! w.add_variable("t", &data, &qoz_sz3::Sz3::default(), ErrorBound::Abs(1e-3))
+//! w.add_variable("t", &data, &*codec, ErrorBound::Abs(1e-3))
 //!     .unwrap();
 //! let bytes = w.finish();
 //!
@@ -48,6 +50,8 @@ pub mod reader;
 pub mod source;
 pub mod writer;
 
+// Deprecated alias kept for one release; see `dispatch`.
+#[allow(deprecated)]
 pub use dispatch::decompress_stream;
 pub use format::{fnv1a, ChunkEntry, Toc, VarMeta, MAGIC, VERSION};
 pub use reader::{ArchiveReader, VerifyReport};

@@ -169,7 +169,7 @@ impl<S: ByteSource> ArchiveReader<S> {
         for &(k, _) in &hits {
             blobs.push(self.fetch_chunk(var_idx, k)?);
         }
-        let codec = crate::dispatch::compressor_for::<T>(self.toc.vars[var_idx].compressor);
+        let codec = qoz_api::BackendRegistry::new().codec::<T>(self.toc.vars[var_idx].compressor);
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);

@@ -93,16 +93,25 @@ impl ArchiveWriter {
         let abs_eb = bound.absolute(data);
         let regions = qoz_tensor::Region::tile(data.shape(), self.chunk_side);
         let chunks: Vec<NdArray<T>> = regions.iter().map(|r| data.extract_region(r)).collect();
-        let blobs =
-            qoz_pario::compress_chunks(compressor, &chunks, ErrorBound::Abs(abs_eb), self.threads);
-        let mut entries = Vec::with_capacity(blobs.len());
-        for blob in &blobs {
+        // Chunk blobs stream straight into the payload in chunk order;
+        // the returned lengths delimit them for the index.
+        let mut offset = self.payload.len() as u64;
+        let lens = qoz_pario::compress_chunks_into(
+            compressor,
+            &chunks,
+            ErrorBound::Abs(abs_eb),
+            self.threads,
+            &mut self.payload,
+        )?;
+        let mut entries = Vec::with_capacity(lens.len());
+        for len in lens {
+            let blob = &self.payload[offset as usize..(offset + len) as usize];
             entries.push(ChunkEntry {
-                offset: self.payload.len() as u64,
-                len: blob.len() as u64,
+                offset,
+                len,
                 checksum: fnv1a(blob),
             });
-            self.payload.extend_from_slice(blob);
+            offset += len;
         }
         self.toc.vars.push(VarMeta {
             name: name.to_string(),
@@ -116,28 +125,51 @@ impl ArchiveWriter {
         Ok(())
     }
 
+    /// Serialize the archive into any byte sink — superblock, TOC +
+    /// checksum, payload — without materializing one contiguous buffer.
+    /// Returns the bytes written.
+    pub fn write_into(&self, sink: &mut dyn std::io::Write) -> Result<u64> {
+        self.write_into_with_toc(&self.toc.encode(), sink)
+    }
+
+    fn write_into_with_toc(&self, toc_bytes: &[u8], sink: &mut dyn std::io::Write) -> Result<u64> {
+        let io_err = |e: std::io::Error| ArchiveError::Io(format!("archive sink: {e}"));
+        let mut sb = ByteWriter::with_capacity(crate::format::SUPERBLOCK_LEN);
+        sb.put_bytes(&MAGIC);
+        sb.put_u8(VERSION);
+        sb.put_u8(0); // flags, reserved
+        sb.put_u64(toc_bytes.len() as u64);
+        let sb = sb.finish();
+        sink.write_all(&sb).map_err(io_err)?;
+        sink.write_all(toc_bytes).map_err(io_err)?;
+        sink.write_all(&fnv1a(toc_bytes).to_le_bytes())
+            .map_err(io_err)?;
+        sink.write_all(&self.payload).map_err(io_err)?;
+        Ok((sb.len() + toc_bytes.len() + 8 + self.payload.len()) as u64)
+    }
+
     /// Serialize the archive: superblock, TOC + checksum, payload.
     pub fn finish(self) -> Vec<u8> {
         let toc_bytes = self.toc.encode();
-        let mut w = ByteWriter::with_capacity(
+        let mut out = Vec::with_capacity(
             crate::format::SUPERBLOCK_LEN + toc_bytes.len() + 8 + self.payload.len(),
         );
-        w.put_bytes(&MAGIC);
-        w.put_u8(VERSION);
-        w.put_u8(0); // flags, reserved
-        w.put_u64(toc_bytes.len() as u64);
-        w.put_bytes(&toc_bytes);
-        w.put_u64(fnv1a(&toc_bytes));
-        w.put_bytes(&self.payload);
-        w.finish()
+        self.write_into_with_toc(&toc_bytes, &mut out)
+            .expect("writing to a Vec cannot fail");
+        out
     }
 
-    /// Serialize and write the archive to `path`; returns bytes written.
+    /// Stream the archive to `path`; returns bytes written. Unlike
+    /// [`ArchiveWriter::finish`] this never holds a second full copy of
+    /// the archive in memory.
     pub fn write_to(self, path: &str) -> Result<u64> {
-        let bytes = self.finish();
-        std::fs::write(path, &bytes)
+        let file = std::fs::File::create(path)
             .map_err(|e| ArchiveError::Io(format!("cannot write {path}: {e}")))?;
-        Ok(bytes.len() as u64)
+        let mut sink = std::io::BufWriter::new(file);
+        let written = self.write_into(&mut sink)?;
+        std::io::Write::flush(&mut sink)
+            .map_err(|e| ArchiveError::Io(format!("cannot write {path}: {e}")))?;
+        Ok(written)
     }
 }
 
@@ -198,6 +230,19 @@ mod tests {
         b.add_variable("v", &data, &c, ErrorBound::Abs(1e-3))
             .unwrap();
         assert_eq!(a.finish(), b.finish(), "archives must be deterministic");
+    }
+
+    #[test]
+    fn write_into_matches_finish_bytes() {
+        let data = field();
+        let c = qoz_sz3::Sz3::default();
+        let mut a = ArchiveWriter::new().with_chunk_side(4);
+        a.add_variable("v", &data, &c, ErrorBound::Abs(1e-3))
+            .unwrap();
+        let mut streamed = Vec::new();
+        let written = a.write_into(&mut streamed).unwrap();
+        assert_eq!(written, streamed.len() as u64);
+        assert_eq!(streamed, a.finish(), "streaming must not change bytes");
     }
 
     #[test]

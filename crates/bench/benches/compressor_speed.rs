@@ -2,7 +2,7 @@
 //! compressor (the microbenchmark behind Table IV).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use qoz_bench::AnyCompressor;
+use qoz_bench::paper_set;
 use qoz_codec::stream::ErrorBound;
 use qoz_datagen::{Dataset, SizeClass};
 use qoz_metrics::QualityMetric;
@@ -15,7 +15,7 @@ fn bench_compressors(c: &mut Criterion) {
     for ds in datasets {
         let data = ds.generate(SizeClass::Tiny, 0);
         group.throughput(Throughput::Bytes((data.len() * 4) as u64));
-        for comp in AnyCompressor::paper_set(QualityMetric::Psnr) {
+        for comp in paper_set::<f32>(QualityMetric::Psnr) {
             group.bench_with_input(
                 BenchmarkId::new(comp.name(), ds.name()),
                 &data,
@@ -29,7 +29,7 @@ fn bench_compressors(c: &mut Criterion) {
     for ds in datasets {
         let data = ds.generate(SizeClass::Tiny, 0);
         group.throughput(Throughput::Bytes((data.len() * 4) as u64));
-        for comp in AnyCompressor::paper_set(QualityMetric::Psnr) {
+        for comp in paper_set::<f32>(QualityMetric::Psnr) {
             let blob = comp.compress(&data, bound);
             group.bench_with_input(
                 BenchmarkId::new(comp.name(), ds.name()),

@@ -25,7 +25,8 @@
 //! PATH` explicitly) writes the machine-readable throughput baseline
 //! that perf PRs are judged against.
 
-use qoz_bench::{bound_for_target_cr, evaluate, write_csv, write_pgm, AnyCompressor};
+use qoz_api::{Codec, Session};
+use qoz_bench::{evaluate, paper_set, write_csv, write_pgm};
 use qoz_codec::stream::{Compressor as _, ErrorBound};
 use qoz_core::ablation::AblationVariant;
 use qoz_core::{Qoz, QozConfig};
@@ -151,9 +152,9 @@ fn bench_throughput(o: &Opts) {
     let mut entries = Vec::new();
     for ds in Dataset::ALL {
         let data = ds.generate(o.size, 0);
-        for c in AnyCompressor::paper_set(QualityMetric::Psnr) {
+        for c in paper_set::<f32>(QualityMetric::Psnr) {
             for eps in bounds {
-                let r = evaluate(&c, &data, ErrorBound::Rel(eps));
+                let r = evaluate(&*c, &data, ErrorBound::Rel(eps));
                 println!(
                     "{:<12} {:<8} {:>6.0e}  {:>8.1} {:>10.1} {:>12.1}",
                     ds.name(),
@@ -226,9 +227,9 @@ fn bench_random_access(o: &Opts) -> Vec<String> {
         .map_or(32, |&d| (d / 4).clamp(4, 32));
 
     let mut rows = Vec::new();
-    for c in AnyCompressor::paper_set(QualityMetric::Psnr) {
+    for c in paper_set::<f32>(QualityMetric::Psnr) {
         let mut w = ArchiveWriter::new().with_chunk_side(chunk_side);
-        w.add_variable("v", &data, &c, ErrorBound::Rel(1e-3))
+        w.add_variable("v", &data, &*c, ErrorBound::Rel(1e-3))
             .unwrap();
         let bytes = w.finish();
 
@@ -294,10 +295,10 @@ fn table3(o: &Opts) {
     for ds in Dataset::ALL {
         let data = ds.generate(o.size, 0);
         for eps in [1e-2, 1e-3, 1e-4] {
-            let set = AnyCompressor::paper_set(QualityMetric::CompressionRatio);
+            let set = paper_set::<f32>(QualityMetric::CompressionRatio);
             let crs: Vec<f64> = set
                 .iter()
-                .map(|c| evaluate(c, &data, ErrorBound::Rel(eps)).cr)
+                .map(|c| evaluate(&**c, &data, ErrorBound::Rel(eps)).cr)
                 .collect();
             let qoz = crs[4];
             let second = crs[..4].iter().cloned().fold(f64::MIN, f64::max);
@@ -357,10 +358,10 @@ fn table4(o: &Opts) {
     let mut rows = Vec::new();
     for ds in Dataset::ALL {
         let data = ds.generate(o.size, 0);
-        let set = AnyCompressor::paper_set(QualityMetric::Psnr);
+        let set = paper_set::<f32>(QualityMetric::Psnr);
         let res: Vec<_> = set
             .iter()
-            .map(|c| evaluate(c, &data, ErrorBound::Rel(1e-3)))
+            .map(|c| evaluate(&**c, &data, ErrorBound::Rel(1e-3)))
             .collect();
         println!(
             "{:<12}  {:>7.0} {:>7.0} {:>7.0} {:>7.0} {:>7.0}   {:>7.0} {:>7.0} {:>7.0} {:>7.0} {:>7.0}",
@@ -451,9 +452,9 @@ fn rate_curves(o: &Opts, metric: QualityMetric, tag: &str) {
             "  {:<8} {:>9} {:>9} {:>9}",
             "comp", "bitrate", "PSNR", "SSIM"
         );
-        for c in AnyCompressor::paper_set(metric) {
+        for c in paper_set::<f32>(metric) {
             for eps in sweeps {
-                let r = evaluate(&c, &data, ErrorBound::Rel(eps));
+                let r = evaluate(&*c, &data, ErrorBound::Rel(eps));
                 rows.push(format!(
                     "{},{},{:e},{:.4},{:.2},{:.4},{:.4}",
                     ds.name(),
@@ -490,15 +491,15 @@ fn rate_curves(o: &Opts, metric: QualityMetric, tag: &str) {
 fn fig10(o: &Opts) {
     println!("\n=== Fig. 10: rate vs |lag-1 autocorrelation| of errors ===");
     let sweeps = [3e-2, 1e-2, 3e-3, 1e-3, 3e-4];
-    let variants: Vec<(&str, AnyCompressor)> = vec![
-        ("SZ3", AnyCompressor::Sz3(Default::default())),
+    let variants: Vec<(&str, Box<dyn Codec<f32>>)> = vec![
+        ("SZ3", Box::new(qoz_sz3::Sz3::default())),
         (
             "QoZ_PSNRPreferred",
-            AnyCompressor::Qoz(Qoz::for_metric(QualityMetric::Psnr)),
+            Box::new(Qoz::for_metric(QualityMetric::Psnr)),
         ),
         (
             "QoZ_ACPreferred",
-            AnyCompressor::Qoz(Qoz::for_metric(QualityMetric::AutoCorrelation)),
+            Box::new(Qoz::for_metric(QualityMetric::AutoCorrelation)),
         ),
     ];
     let mut rows = Vec::new();
@@ -507,7 +508,7 @@ fn fig10(o: &Opts) {
         println!("{} (at eps=1e-3):", ds.name());
         for (label, c) in &variants {
             for eps in sweeps {
-                let r = evaluate(c, &data, ErrorBound::Rel(eps));
+                let r = evaluate(&**c, &data, ErrorBound::Rel(eps));
                 rows.push(format!(
                     "{},{},{:e},{:.4},{:.4}",
                     ds.name(),
@@ -544,19 +545,26 @@ fn fig11(o: &Opts) {
     let target_cr = 65.0;
     write_pgm(&format!("{}/fig11_original.pgm", o.out), &data).unwrap();
     let mut rows = Vec::new();
-    for c in AnyCompressor::paper_set(QualityMetric::Psnr) {
-        let eps = bound_for_target_cr(&c, &data, target_cr, 14);
-        let blob = c.compress(&data, ErrorBound::Rel(eps));
-        let recon = c.decompress(&blob).unwrap();
-        let cr = (data.len() * 4) as f64 / blob.len() as f64;
+    for id in qoz_api::BackendRegistry::ALL {
+        // Quality-first session: ask each backend for the target ratio
+        // directly and let the facade find the bound.
+        let session = Session::builder()
+            .backend(id)
+            .metric(QualityMetric::Psnr)
+            .ratio(target_cr)
+            .build()
+            .expect("ratio target is valid");
+        let out = session.compress(&data).expect("session compression");
+        let recon: NdArray<f32> = session.decompress(&out.blob).unwrap();
+        let cr = out.achieved.expect("ratio sessions report achieved CR");
         let psnr = qoz_metrics::psnr(&data, &recon);
-        println!("  {:<8} CR={:>6.1}  PSNR={:>6.2} dB", c.name(), cr, psnr);
+        println!("  {:<8} CR={:>6.1}  PSNR={:>6.2} dB", id.name(), cr, psnr);
         write_pgm(
-            &format!("{}/fig11_{}.pgm", o.out, c.name().replace('.', "_")),
+            &format!("{}/fig11_{}.pgm", o.out, id.name().replace('.', "_")),
             &recon,
         )
         .unwrap();
-        rows.push(format!("{},{:.2},{:.3}", c.name(), cr, psnr));
+        rows.push(format!("{},{:.2},{:.3}", id.name(), cr, psnr));
     }
     let path = format!("{}/fig11_visual.csv", o.out);
     write_csv(&path, "compressor,cr,psnr", &rows).unwrap();
@@ -573,12 +581,12 @@ fn fig12(o: &Opts) {
         let data = ds.generate(o.size, 0);
         println!("{} (at eps=1e-3):", ds.name());
         for v in AblationVariant::ALL {
-            let comp: AnyCompressor = match v {
-                AblationVariant::Sz3Baseline => AnyCompressor::Sz3(Default::default()),
-                other => AnyCompressor::Qoz(other.compressor(QualityMetric::Psnr)),
+            let comp: Box<dyn Codec<f32>> = match v {
+                AblationVariant::Sz3Baseline => Box::new(qoz_sz3::Sz3::default()),
+                other => Box::new(other.compressor(QualityMetric::Psnr)),
             };
             for eps in sweeps {
-                let r = evaluate(&comp, &data, ErrorBound::Rel(eps));
+                let r = evaluate(&*comp, &data, ErrorBound::Rel(eps));
                 rows.push(format!(
                     "{},{},{:e},{:.4},{:.2}",
                     ds.name(),
@@ -620,11 +628,7 @@ fn fig13(o: &Opts) {
                 ..Default::default()
             });
             for eps in sweeps {
-                let r = evaluate(
-                    &AnyCompressor::Qoz(qoz.clone()),
-                    &data,
-                    ErrorBound::Rel(eps),
-                );
+                let r = evaluate(&qoz, &data, ErrorBound::Rel(eps));
                 rows.push(format!(
                     "{},a={} b={},{:e},{:.4},{:.2}",
                     ds.name(),
@@ -644,11 +648,7 @@ fn fig13(o: &Opts) {
         }
         let auto = Qoz::for_metric(QualityMetric::Psnr);
         for eps in sweeps {
-            let r = evaluate(
-                &AnyCompressor::Qoz(auto.clone()),
-                &data,
-                ErrorBound::Rel(eps),
-            );
+            let r = evaluate(&auto, &data, ErrorBound::Rel(eps));
             rows.push(format!(
                 "{},autotuning,{:e},{:.4},{:.2}",
                 ds.name(),
@@ -679,8 +679,8 @@ fn fig14(o: &Opts) {
         "codec", "CR", "comp", "decomp"
     );
     let mut measured: Vec<(String, f64, f64, f64)> = vec![("raw".into(), 1.0, 0.0, 0.0)];
-    for c in AnyCompressor::paper_set(QualityMetric::CompressionRatio) {
-        let r = evaluate(&c, &data, bound);
+    for c in paper_set::<f32>(QualityMetric::CompressionRatio) {
+        let r = evaluate(&*c, &data, bound);
         measured.push((
             c.name().to_string(),
             r.cr,

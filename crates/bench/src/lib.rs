@@ -1,109 +1,26 @@
 //! Shared harness utilities for reproducing the paper's tables and
 //! figures.
 //!
-//! The [`AnyCompressor`] enum dispatches over the five evaluated codecs;
+//! Backend dispatch goes through [`qoz_api::BackendRegistry`] —
+//! [`paper_set`] returns the five evaluated codecs in table order;
 //! [`evaluate`] runs one timed compress/decompress cycle and collects
 //! every metric the paper reports (compression ratio, bit-rate, PSNR,
 //! SSIM, lag-1 error autocorrelation, throughput, max error). The
 //! experiment drivers in `src/bin/repro.rs` are thin loops over these
 //! helpers; results go to stdout as aligned tables and to `results/*.csv`.
 
-use qoz_codec::stream::{Compressor, ErrorBound};
-use qoz_core::Qoz;
+use qoz_api::{BackendRegistry, Codec};
+use qoz_codec::stream::ErrorBound;
 use qoz_metrics::QualityMetric;
-use qoz_mgard::Mgard;
-use qoz_sz2::Sz2;
-use qoz_sz3::Sz3;
-use qoz_tensor::NdArray;
-use qoz_zfp::Zfp;
+use qoz_tensor::{NdArray, Scalar};
 use std::io::Write as _;
 use std::time::Instant;
 
-/// Dispatch wrapper over the five evaluated compressors.
-#[derive(Debug, Clone)]
-pub enum AnyCompressor {
-    /// SZ2.1 baseline.
-    Sz2(Sz2),
-    /// SZ3 baseline.
-    Sz3(Sz3),
-    /// ZFP baseline.
-    Zfp(Zfp),
-    /// MGARD+ baseline.
-    Mgard(Mgard),
-    /// QoZ (ours).
-    Qoz(Qoz),
-}
-
-impl AnyCompressor {
-    /// The paper's comparison set, QoZ in the given tuning mode.
-    pub fn paper_set(metric: QualityMetric) -> Vec<AnyCompressor> {
-        vec![
-            AnyCompressor::Sz2(Sz2::default()),
-            AnyCompressor::Sz3(Sz3::default()),
-            AnyCompressor::Zfp(Zfp),
-            AnyCompressor::Mgard(Mgard),
-            AnyCompressor::Qoz(Qoz::for_metric(metric)),
-        ]
-    }
-
-    /// Display name matching the paper's tables.
-    pub fn name(&self) -> &'static str {
-        match self {
-            AnyCompressor::Sz2(_) => "SZ2.1",
-            AnyCompressor::Sz3(_) => "SZ3",
-            AnyCompressor::Zfp(_) => "ZFP",
-            AnyCompressor::Mgard(_) => "MGARD+",
-            AnyCompressor::Qoz(_) => "QoZ",
-        }
-    }
-
-    /// Compress an `f32` array.
-    pub fn compress(&self, data: &NdArray<f32>, bound: ErrorBound) -> Vec<u8> {
-        match self {
-            AnyCompressor::Sz2(c) => c.compress(data, bound),
-            AnyCompressor::Sz3(c) => c.compress(data, bound),
-            AnyCompressor::Zfp(c) => c.compress(data, bound),
-            AnyCompressor::Mgard(c) => c.compress(data, bound),
-            AnyCompressor::Qoz(c) => c.compress(data, bound),
-        }
-    }
-
-    /// Decompress an `f32` array.
-    pub fn decompress(&self, blob: &[u8]) -> qoz_codec::Result<NdArray<f32>> {
-        match self {
-            AnyCompressor::Sz2(c) => c.decompress(blob),
-            AnyCompressor::Sz3(c) => c.decompress(blob),
-            AnyCompressor::Zfp(c) => c.decompress(blob),
-            AnyCompressor::Mgard(c) => c.decompress(blob),
-            AnyCompressor::Qoz(c) => c.decompress(blob),
-        }
-    }
-}
-
-/// The trait impl lets harness code hand an [`AnyCompressor`] straight
-/// to generic consumers (`qoz_archive::ArchiveWriter`, `qoz_pario`).
-impl Compressor<f32> for AnyCompressor {
-    fn id(&self) -> qoz_codec::CompressorId {
-        match self {
-            AnyCompressor::Sz2(c) => Compressor::<f32>::id(c),
-            AnyCompressor::Sz3(c) => Compressor::<f32>::id(c),
-            AnyCompressor::Zfp(c) => Compressor::<f32>::id(c),
-            AnyCompressor::Mgard(c) => Compressor::<f32>::id(c),
-            AnyCompressor::Qoz(c) => Compressor::<f32>::id(c),
-        }
-    }
-
-    fn compress(&self, data: &NdArray<f32>, bound: ErrorBound) -> Vec<u8> {
-        AnyCompressor::compress(self, data, bound)
-    }
-
-    fn decompress(&self, blob: &[u8]) -> qoz_codec::Result<NdArray<f32>> {
-        AnyCompressor::decompress(self, blob)
-    }
-
-    fn name(&self) -> &'static str {
-        AnyCompressor::name(self)
-    }
+/// The paper's comparison set (SZ2.1, SZ3, ZFP, MGARD+, QoZ), QoZ in
+/// the given tuning mode — a thin veneer over
+/// [`BackendRegistry::paper_set`].
+pub fn paper_set<T: Scalar>(metric: QualityMetric) -> Vec<Box<dyn Codec<T>>> {
+    BackendRegistry::with_metric(metric).paper_set::<T>()
 }
 
 /// All metrics collected from one compress/decompress cycle.
@@ -128,8 +45,9 @@ pub struct RunResult {
 }
 
 /// Run one timed cycle and measure everything.
-pub fn evaluate(c: &AnyCompressor, data: &NdArray<f32>, bound: ErrorBound) -> RunResult {
-    let raw_bytes = (data.len() * 4) as f64;
+pub fn evaluate<T: Scalar>(c: &dyn Codec<T>, data: &NdArray<T>, bound: ErrorBound) -> RunResult {
+    let raw_bytes = (data.len() * T::BYTES) as f64;
+    let bits_per_elem = (T::BYTES * 8) as f64;
     let t0 = Instant::now();
     let blob = c.compress(data, bound);
     let t_comp = t0.elapsed().as_secs_f64();
@@ -139,7 +57,7 @@ pub fn evaluate(c: &AnyCompressor, data: &NdArray<f32>, bound: ErrorBound) -> Ru
 
     RunResult {
         cr: raw_bytes / blob.len() as f64,
-        bitrate: blob.len() as f64 * 8.0 / data.len() as f64,
+        bitrate: blob.len() as f64 * bits_per_elem / raw_bytes,
         psnr: qoz_metrics::psnr(data, &recon),
         ssim: qoz_metrics::ssim(data, &recon),
         ac: qoz_metrics::error_autocorrelation(data, &recon, 1).abs(),
@@ -151,25 +69,18 @@ pub fn evaluate(c: &AnyCompressor, data: &NdArray<f32>, bound: ErrorBound) -> Ru
 
 /// Binary-search the relative error bound that hits a target compression
 /// ratio (used for the same-CR visual comparison, Fig. 11).
-pub fn bound_for_target_cr(
-    c: &AnyCompressor,
-    data: &NdArray<f32>,
+#[deprecated(
+    since = "0.2.0",
+    note = "use `qoz_api::Session` with `Target::Ratio`, or \
+            `qoz_core::compress_codec_to_ratio`, which also return the stream"
+)]
+pub fn bound_for_target_cr<T: Scalar>(
+    c: &dyn Codec<T>,
+    data: &NdArray<T>,
     target_cr: f64,
     iterations: usize,
 ) -> f64 {
-    let mut lo = 1e-7f64;
-    let mut hi = 0.3f64;
-    for _ in 0..iterations {
-        let mid = (lo * hi).sqrt(); // geometric bisection over decades
-        let blob = c.compress(data, ErrorBound::Rel(mid));
-        let cr = (data.len() * 4) as f64 / blob.len() as f64;
-        if cr < target_cr {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-    }
-    (lo * hi).sqrt()
+    qoz_core::compress_codec_to_ratio(c, data, target_cr, iterations).rel_bound
 }
 
 /// Write rows to a CSV file under `results/`.
@@ -212,8 +123,7 @@ mod tests {
     #[test]
     fn evaluate_produces_consistent_metrics() {
         let data = Dataset::CesmAtm.generate(SizeClass::Tiny, 0);
-        let c = AnyCompressor::Sz3(Sz3::default());
-        let r = evaluate(&c, &data, ErrorBound::Rel(1e-3));
+        let r = evaluate(&qoz_sz3::Sz3::default(), &data, ErrorBound::Rel(1e-3));
         assert!(r.cr > 1.0);
         assert!((r.bitrate - 32.0 / r.cr).abs() < 1e-9);
         assert!(r.psnr > 20.0);
@@ -223,15 +133,17 @@ mod tests {
 
     #[test]
     fn paper_set_has_five_compressors() {
-        let set = AnyCompressor::paper_set(QualityMetric::Psnr);
+        let set = paper_set::<f32>(QualityMetric::Psnr);
         let names: Vec<_> = set.iter().map(|c| c.name()).collect();
         assert_eq!(names, vec!["SZ2.1", "SZ3", "ZFP", "MGARD+", "QoZ"]);
     }
 
     #[test]
+    #[allow(deprecated)]
     fn target_cr_search_converges() {
+        use qoz_codec::Compressor as _;
         let data = Dataset::Miranda.generate(SizeClass::Tiny, 0);
-        let c = AnyCompressor::Sz3(Sz3::default());
+        let c = qoz_sz3::Sz3::default();
         let eps = bound_for_target_cr(&c, &data, 30.0, 12);
         let blob = c.compress(&data, ErrorBound::Rel(eps));
         let cr = (data.len() * 4) as f64 / blob.len() as f64;

@@ -1,36 +1,13 @@
 //! Hand-rolled argument parsing (no external parser dependency).
+//!
+//! Backend names and compression targets are `qoz_api` concepts; this
+//! module only turns flag strings into them — validation of the values
+//! themselves happens centrally in `qoz_api::SessionBuilder::build`.
 
 use crate::CliError;
+use qoz_api::{BackendId, BackendRegistry, Target};
+use qoz_codec::ErrorBound;
 use qoz_metrics::QualityMetric;
-
-/// Which compressor a command should use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum CodecChoice {
-    /// QoZ (default).
-    #[default]
-    Qoz,
-    /// SZ3 baseline.
-    Sz3,
-    /// SZ2.1 baseline.
-    Sz2,
-    /// ZFP baseline.
-    Zfp,
-    /// MGARD+ baseline.
-    Mgard,
-}
-
-impl CodecChoice {
-    fn parse(s: &str) -> Result<Self, CliError> {
-        Ok(match s.to_ascii_lowercase().as_str() {
-            "qoz" => CodecChoice::Qoz,
-            "sz3" => CodecChoice::Sz3,
-            "sz2" | "sz2.1" => CodecChoice::Sz2,
-            "zfp" => CodecChoice::Zfp,
-            "mgard" | "mgard+" => CodecChoice::Mgard,
-            other => return Err(CliError::usage(format!("unknown codec '{other}'"))),
-        })
-    }
-}
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,14 +22,15 @@ pub enum Command {
         dims: Vec<usize>,
         /// `true` for f64 input, `false` for f32.
         wide: bool,
-        /// Relative (`true`) or absolute (`false`) bound.
-        relative: bool,
-        /// Bound value.
-        bound: f64,
+        /// What to drive the compression toward: an error bound (`-e`)
+        /// or a quality/ratio target (`--target`).
+        target: Target,
         /// Compressor.
-        codec: CodecChoice,
-        /// QoZ tuning metric.
-        metric: QualityMetric,
+        codec: BackendId,
+        /// QoZ tuning metric. `None` (no `--metric` flag) lets the
+        /// session builder infer it from the target — a `--target
+        /// psnr:..` run tunes QoZ for PSNR without extra flags.
+        metric: Option<QualityMetric>,
     },
     /// Decompress a stream file back to raw bytes.
     Decompress {
@@ -92,7 +70,7 @@ pub enum Command {
         /// Bound value.
         bound: f64,
         /// Compressor.
-        codec: CodecChoice,
+        codec: BackendId,
         /// Variable name stored in the archive.
         name: String,
         /// Chunk grid side (elements per dimension).
@@ -164,7 +142,25 @@ fn metric_of(s: &str) -> Result<QualityMetric, CliError> {
     })
 }
 
-/// Parse a full argument vector (excluding argv[0]).
+fn codec_of(s: &str) -> Result<BackendId, CliError> {
+    BackendRegistry::parse(s).map_err(|e| CliError::usage(e.to_string()))
+}
+
+/// Parse a `--target` spec: `psnr:60`, `ssim:0.98` or `cr:100`. The
+/// numeric value is range-checked later by the session builder.
+fn target_of(s: &str) -> Result<Target, CliError> {
+    let bad = || CliError::usage(format!("bad --target '{s}' (want psnr:DB|ssim:S|cr:RATIO)"));
+    let (kind, value) = s.split_once(':').ok_or_else(bad)?;
+    let v: f64 = value.trim().parse().map_err(|_| bad())?;
+    Ok(match kind.to_ascii_lowercase().as_str() {
+        "psnr" => Target::Psnr(v),
+        "ssim" => Target::Ssim(v),
+        "cr" | "ratio" => Target::Ratio(v),
+        _ => return Err(bad()),
+    })
+}
+
+/// Parse a full argument vector (excluding argv\[0\]).
 pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut it = args.iter();
     let sub = match it.next() {
@@ -195,22 +191,49 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
 
     match sub {
         "help" | "--help" | "-h" => Ok(Command::Help),
-        "compress" => Ok(Command::Compress {
-            input: require("-i")?.to_string(),
-            output: require("-o")?.to_string(),
-            dims: parse_dims(require("-d")?)?,
-            wide: get_flag("-t").map(|t| t == "f64").unwrap_or(false),
-            relative: get_flag("-m").map(|m| m != "abs").unwrap_or(true),
-            bound: bound_of("-e")?,
-            codec: get_flag("--codec")
-                .map(CodecChoice::parse)
-                .transpose()?
-                .unwrap_or_default(),
-            metric: get_flag("--metric")
-                .map(metric_of)
-                .transpose()?
-                .unwrap_or_default(),
-        }),
+        "compress" => {
+            // `-e BOUND` (bound-first) and `--target KIND:VALUE`
+            // (quality-first) are alternative ways to state the goal.
+            let target = match get_flag("--target") {
+                Some(spec) => {
+                    if get_flag("-e").is_some() {
+                        return Err(CliError::usage("-e and --target are mutually exclusive"));
+                    }
+                    if get_flag("-m").is_some() {
+                        return Err(CliError::usage(
+                            "-m only qualifies an -e bound; it cannot combine with --target",
+                        ));
+                    }
+                    target_of(spec)?
+                }
+                None => {
+                    if get_flag("-e").is_none() {
+                        return Err(CliError::usage(
+                            "state a goal: -e BOUND or --target psnr:DB|ssim:S|cr:RATIO",
+                        ));
+                    }
+                    let bound = bound_of("-e")?;
+                    let relative = get_flag("-m").map(|m| m != "abs").unwrap_or(true);
+                    Target::Bound(if relative {
+                        ErrorBound::Rel(bound)
+                    } else {
+                        ErrorBound::Abs(bound)
+                    })
+                }
+            };
+            Ok(Command::Compress {
+                input: require("-i")?.to_string(),
+                output: require("-o")?.to_string(),
+                dims: parse_dims(require("-d")?)?,
+                wide: get_flag("-t").map(|t| t == "f64").unwrap_or(false),
+                target,
+                codec: get_flag("--codec")
+                    .map(codec_of)
+                    .transpose()?
+                    .unwrap_or(BackendId::Qoz),
+                metric: get_flag("--metric").map(metric_of).transpose()?,
+            })
+        }
         "decompress" => Ok(Command::Decompress {
             input: require("-i")?.to_string(),
             output: require("-o")?.to_string(),
@@ -232,9 +255,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             relative: get_flag("-m").map(|m| m != "abs").unwrap_or(true),
             bound: bound_of("-e")?,
             codec: get_flag("--codec")
-                .map(CodecChoice::parse)
+                .map(codec_of)
                 .transpose()?
-                .unwrap_or_default(),
+                .unwrap_or(BackendId::Qoz),
             name: get_flag("--name").unwrap_or("var0").to_string(),
             chunk: match get_flag("--chunk") {
                 None => qoz_archive::writer::DEFAULT_CHUNK_SIDE,
@@ -279,7 +302,8 @@ pub const USAGE: &str = "\
 qoz — error-bounded lossy compression for scientific arrays (QoZ, SC'22 reproduction)
 
 USAGE:
-  qoz compress   -i in.f32 -o out.qz -d 512x512x512 -e 1e-3 [-m rel|abs]
+  qoz compress   -i in.f32 -o out.qz -d 512x512x512 (-e 1e-3 [-m rel|abs]
+                 | --target psnr:60|ssim:0.98|cr:100)
                  [-t f32|f64] [--codec qoz|sz3|sz2|zfp|mgard]
                  [--metric cr|psnr|ssim|ac]
   qoz decompress -i out.qz -o recon.f32
@@ -333,8 +357,7 @@ mod tests {
                 output,
                 dims,
                 wide,
-                relative,
-                bound,
+                target,
                 codec,
                 metric,
             } => {
@@ -342,10 +365,9 @@ mod tests {
                 assert_eq!(output, "a.qz");
                 assert_eq!(dims, vec![64, 64]);
                 assert!(!wide);
-                assert!(!relative);
-                assert_eq!(bound, 1e-3);
-                assert_eq!(codec, CodecChoice::Sz3);
-                assert_eq!(metric, QualityMetric::Ssim);
+                assert_eq!(target, Target::Bound(ErrorBound::Abs(1e-3)));
+                assert_eq!(codec, BackendId::Sz3);
+                assert_eq!(metric, Some(QualityMetric::Ssim));
             }
             other => panic!("wrong parse: {other:?}"),
         }
@@ -361,17 +383,57 @@ mod tests {
             Command::Compress {
                 codec,
                 metric,
-                relative,
+                target,
                 wide,
                 ..
             } => {
-                assert_eq!(codec, CodecChoice::Qoz);
-                assert_eq!(metric, QualityMetric::CompressionRatio);
-                assert!(relative);
+                assert_eq!(codec, BackendId::Qoz);
+                assert_eq!(metric, None, "no --metric flag must defer to inference");
+                assert_eq!(target, Target::Bound(ErrorBound::Rel(0.01)));
                 assert!(!wide);
             }
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn parse_quality_targets() {
+        for (spec, want) in [
+            ("psnr:60", Target::Psnr(60.0)),
+            ("ssim:0.98", Target::Ssim(0.98)),
+            ("cr:100", Target::Ratio(100.0)),
+            ("ratio:64", Target::Ratio(64.0)),
+            ("PSNR:45.5", Target::Psnr(45.5)),
+        ] {
+            let cmd = parse(&sv(&[
+                "compress", "-i", "a", "-o", "b", "-d", "8x8", "--target", spec,
+            ]))
+            .unwrap();
+            match cmd {
+                Command::Compress { target, .. } => assert_eq!(target, want, "{spec}"),
+                _ => unreachable!(),
+            }
+        }
+        // Malformed specs and mixing -e with --target are usage errors.
+        for bad in ["psnr", "psnr:", "psnr:x", "nrmse:3", "60"] {
+            assert!(
+                parse(&sv(&[
+                    "compress", "-i", "a", "-o", "b", "-d", "8x8", "--target", bad
+                ]))
+                .is_err(),
+                "accepted --target {bad}"
+            );
+        }
+        assert!(parse(&sv(&[
+            "compress", "-i", "a", "-o", "b", "-d", "8x8", "-e", "1e-3", "--target", "psnr:60",
+        ]))
+        .is_err());
+        // -m qualifies -e; combining it with --target is likewise an
+        // error, not a silent no-op.
+        assert!(parse(&sv(&[
+            "compress", "-i", "a", "-o", "b", "-d", "8x8", "--target", "cr:100", "-m", "abs",
+        ]))
+        .is_err());
     }
 
     #[test]
@@ -402,7 +464,7 @@ mod tests {
                 assert_eq!(input, "a.f32");
                 assert_eq!(output, "a.qza");
                 assert_eq!(dims, vec![64, 64, 64]);
-                assert_eq!(codec, CodecChoice::Zfp);
+                assert_eq!(codec, BackendId::Zfp);
                 assert_eq!(name, "temp");
                 assert_eq!(chunk, 16);
                 assert!(relative);

@@ -1,23 +1,89 @@
 //! Command implementations.
+//!
+//! Every compression path goes through [`qoz_api::Session`]: the CLI
+//! only parses flags, reads raw arrays, and reports what the session
+//! did. Streams are written through the session's streaming sink
+//! (`compress_into`), not via an intermediate whole-stream buffer.
 
-use crate::args::{CodecChoice, Command, USAGE};
+use crate::args::{Command, USAGE};
 use crate::rawio;
 use crate::CliError;
+use qoz_api::{Session, Target};
 use qoz_archive::{ArchiveReader, ArchiveWriter};
-use qoz_codec::stream::{Compressor, ErrorBound};
-use qoz_metrics::{QualityMetric, QualityReport};
+use qoz_codec::stream::ErrorBound;
+use qoz_metrics::QualityReport;
 use qoz_tensor::{NdArray, Region, Scalar, Shape};
 
-fn make_codec<T: Scalar>(
-    choice: CodecChoice,
-    metric: QualityMetric,
-) -> Box<dyn Compressor<T> + Sync> {
-    match choice {
-        CodecChoice::Qoz => Box::new(qoz_core::Qoz::for_metric(metric)),
-        CodecChoice::Sz3 => Box::new(qoz_sz3::Sz3::default()),
-        CodecChoice::Sz2 => Box::new(qoz_sz2::Sz2::default()),
-        CodecChoice::Zfp => Box::new(qoz_zfp::Zfp),
-        CodecChoice::Mgard => Box::new(qoz_mgard::Mgard),
+/// Compress one typed array through `session`, streaming the result to
+/// `output`; returns the report line.
+fn compress_one<T: Scalar>(
+    session: &Session,
+    data: &NdArray<T>,
+    input: &str,
+    output: &str,
+) -> Result<String, CliError> {
+    let raw_bytes = data.len() * T::BYTES;
+    match session.target() {
+        Target::Bound(_) => {
+            let stats = write_atomically(output, |sink| Ok(session.compress_into(data, sink)?))?;
+            Ok(format!(
+                "{input} -> {output}: {} -> {} bytes (CR {:.2}x)",
+                stats.raw_bytes,
+                stats.compressed_bytes,
+                stats.ratio()
+            ))
+        }
+        target => {
+            // Quality-first: the search produces the blob plus the bound
+            // and metric it settled on — report all of it.
+            let out = session.compress(data)?;
+            write_atomically(output, |sink| {
+                std::io::Write::write_all(sink, &out.blob)?;
+                Ok(())
+            })?;
+            let (label, unit) = match target {
+                Target::Psnr(_) => ("PSNR", " dB"),
+                Target::Ssim(_) => ("SSIM", ""),
+                _ => ("CR", "x"),
+            };
+            Ok(format!(
+                "{input} -> {output}: {} -> {} bytes (CR {:.2}x, {label} {:.2}{unit} \
+                 at rel bound {:.3e})",
+                raw_bytes,
+                out.blob.len(),
+                out.stats.ratio(),
+                out.achieved.unwrap_or(f64::NAN),
+                out.rel_bound.unwrap_or(f64::NAN),
+            ))
+        }
+    }
+}
+
+/// Stream into a sibling temp file and rename over `output` on success,
+/// so a mid-write failure never truncates an existing output.
+fn write_atomically<R>(
+    output: &str,
+    write: impl FnOnce(&mut dyn std::io::Write) -> Result<R, CliError>,
+) -> Result<R, CliError> {
+    // Pid-unique temp name: concurrent writers to the same output must
+    // not share (and interleave into) one temp file.
+    let tmp = format!("{output}.{}.qztmp", std::process::id());
+    let attempt = || -> Result<R, CliError> {
+        let file = std::fs::File::create(&tmp)
+            .map_err(|e| CliError::runtime(format!("cannot create {tmp}: {e}")))?;
+        let mut sink = std::io::BufWriter::new(file);
+        let result = write(&mut sink)?;
+        std::io::Write::flush(&mut sink)?;
+        std::fs::rename(&tmp, output)
+            .map_err(|e| CliError::runtime(format!("cannot write {output}: {e}")))?;
+        Ok(result)
+    };
+    match attempt() {
+        Ok(result) => Ok(result),
+        Err(e) => {
+            std::fs::remove_file(&tmp).ok();
+            Err(e)
+        }
     }
 }
 
@@ -30,44 +96,36 @@ pub fn run(cmd: Command) -> Result<Vec<String>, CliError> {
             output,
             dims,
             wide,
-            relative,
-            bound,
+            target,
             codec,
             metric,
         } => {
             let shape = Shape::new(&dims);
-            let bound = if relative {
-                ErrorBound::Rel(bound)
-            } else {
-                ErrorBound::Abs(bound)
-            };
-            let (raw_bytes, blob) = if wide {
+            // Only force a tuning metric when the user asked for one;
+            // otherwise the builder infers it from the target.
+            let mut builder = Session::builder().backend(codec).target(target);
+            if let Some(metric) = metric {
+                builder = builder.metric(metric);
+            }
+            let session = builder.build()?;
+            let line = if wide {
                 let data: NdArray<f64> = rawio::read_raw(&input, shape)?;
-                let c = make_codec::<f64>(codec, metric);
-                (data.len() * 8, c.compress(&data, bound))
+                compress_one(&session, &data, &input, &output)?
             } else {
                 let data: NdArray<f32> = rawio::read_raw(&input, shape)?;
-                let c = make_codec::<f32>(codec, metric);
-                (data.len() * 4, c.compress(&data, bound))
+                compress_one(&session, &data, &input, &output)?
             };
-            rawio::write_bytes(&output, &blob)?;
-            Ok(vec![format!(
-                "{input} -> {output}: {} -> {} bytes (CR {:.2}x)",
-                raw_bytes,
-                blob.len(),
-                raw_bytes as f64 / blob.len() as f64
-            )])
+            Ok(vec![line])
         }
         Command::Decompress { input, output } => {
             let blob = rawio::read_bytes(&input)?;
-            let header = peek_header(&blob)?;
+            let header = qoz_api::peek_header(&blob)?;
+            let registry = qoz_api::BackendRegistry::new();
             if header.scalar_tag == f64::TYPE_TAG {
-                let data: NdArray<f64> =
-                    qoz_archive::decompress_stream(&blob).map_err(stream_err)?;
+                let data: NdArray<f64> = registry.decompress(&blob)?;
                 rawio::write_raw(&output, &data)?;
             } else {
-                let data: NdArray<f32> =
-                    qoz_archive::decompress_stream(&blob).map_err(stream_err)?;
+                let data: NdArray<f32> = registry.decompress(&blob)?;
                 rawio::write_raw(&output, &data)?;
             }
             Ok(vec![format!("{input} -> {output}")])
@@ -89,16 +147,15 @@ pub fn run(cmd: Command) -> Result<Vec<String>, CliError> {
             } else {
                 ErrorBound::Abs(bound)
             };
+            let session = Session::builder().backend(codec).bound(bound).build()?;
             let mut w = ArchiveWriter::new().with_chunk_side(chunk);
             let (raw_bytes, chunks) = if wide {
                 let data: NdArray<f64> = rawio::read_raw(&input, shape)?;
-                let c = make_codec::<f64>(codec, QualityMetric::default());
-                w.add_variable(&name, &data, &*c, bound)?;
+                w.add_variable(&name, &data, &*session.codec::<f64>(), bound)?;
                 (data.len() * 8, w.toc().vars[0].chunks.len())
             } else {
                 let data: NdArray<f32> = rawio::read_raw(&input, shape)?;
-                let c = make_codec::<f32>(codec, QualityMetric::default());
-                w.add_variable(&name, &data, &*c, bound)?;
+                w.add_variable(&name, &data, &*session.codec::<f32>(), bound)?;
                 (data.len() * 4, w.toc().vars[0].chunks.len())
             };
             let written = w.write_to(&output)?;
@@ -173,7 +230,7 @@ pub fn run(cmd: Command) -> Result<Vec<String>, CliError> {
         }
         Command::Info { input } => {
             let blob = rawio::read_bytes(&input)?;
-            let h = peek_header(&blob)?;
+            let h = qoz_api::peek_header(&blob)?;
             Ok(vec![
                 format!("compressor    : {}", h.compressor.name()),
                 format!(
@@ -246,19 +303,6 @@ pub fn run(cmd: Command) -> Result<Vec<String>, CliError> {
     }
 }
 
-// Unwrap the archive layer's Codec wrapper so plain-stream commands
-// keep reporting "codec error", not "archive error".
-fn stream_err(e: qoz_archive::ArchiveError) -> CliError {
-    match e {
-        qoz_archive::ArchiveError::Codec(c) => c.into(),
-        other => other.into(),
-    }
-}
-
-fn peek_header(blob: &[u8]) -> Result<qoz_codec::Header, CliError> {
-    qoz_archive::dispatch::peek_header(blob).map_err(stream_err)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,6 +365,41 @@ mod tests {
             std::fs::remove_file(&rec).ok();
         }
         std::fs::remove_file(&raw).ok();
+    }
+
+    #[test]
+    fn quality_target_through_cli() {
+        let raw = tmp("target.f32");
+        let qz = tmp("target.qz");
+        let rec = tmp("target_rec.f32");
+        run(parse(&sv(&["gen", "-D", "cesm", "-s", "tiny", "-o", &raw])).unwrap()).unwrap();
+        let out = run(parse(&sv(&[
+            "compress", "-i", &raw, "-o", &qz, "-d", "64x128", "--target", "psnr:50",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(
+            out[0].contains("PSNR") && out[0].contains("rel bound"),
+            "{out:?}"
+        );
+        run(parse(&sv(&["decompress", "-i", &qz, "-o", &rec])).unwrap()).unwrap();
+        let a: NdArray<f32> = rawio::read_raw(&raw, Shape::d2(64, 128)).unwrap();
+        let b: NdArray<f32> = rawio::read_raw(&rec, Shape::d2(64, 128)).unwrap();
+        assert!(qoz_metrics::psnr(&a, &b) >= 50.0);
+
+        // An out-of-range target parses but is rejected centrally by the
+        // session builder, surfacing as a usage error (exit 2).
+        let err = run(parse(&sv(&[
+            "compress", "-i", &raw, "-o", &qz, "-d", "64x128", "--target", "ssim:1.5",
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert_eq!(err.code, 2, "{err}");
+        assert!(err.message.contains("SSIM"), "{err}");
+
+        for f in [&raw, &qz, &rec] {
+            std::fs::remove_file(f).ok();
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ pub mod args;
 pub mod commands;
 pub mod rawio;
 
-pub use args::{parse_coords, parse_dims, CodecChoice, Command};
+pub use args::{parse_coords, parse_dims, Command};
 pub use commands::run;
 
 /// CLI error type: message + suggested exit code.
@@ -51,6 +51,19 @@ impl std::error::Error for CliError {}
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
         CliError::runtime(format!("I/O error: {e}"))
+    }
+}
+
+impl From<qoz_api::ApiError> for CliError {
+    fn from(e: qoz_api::ApiError) -> Self {
+        match e {
+            // Misconfigured bounds/targets are the user's flags — report
+            // them as usage errors (exit 2), like parse-time failures.
+            qoz_api::ApiError::InvalidBound(_)
+            | qoz_api::ApiError::InvalidTarget(_)
+            | qoz_api::ApiError::UnknownBackend(_) => CliError::usage(e.to_string()),
+            qoz_api::ApiError::Codec(c) => c.into(),
+        }
     }
 }
 

@@ -277,7 +277,7 @@ const PRIMARY_BITS: u32 = 11;
 
 /// Decoder over a serialized canonical Huffman stream.
 ///
-/// Short codes (≤ [`PRIMARY_BITS`]) decode with one probe of a dense
+/// Short codes (≤ `PRIMARY_BITS`) decode with one probe of a dense
 /// prefix table fed by a 64-bit peek; longer codes fall back to the
 /// canonical per-length first-code/offset walk (`O(length)` per symbol).
 #[derive(Debug)]
@@ -290,7 +290,7 @@ pub struct HuffmanDecoder {
     count: [u32; MAX_CODE_LEN as usize + 1],
     /// Index into `symbols` of the first code of each length.
     offset: [u32; MAX_CODE_LEN as usize + 1],
-    /// Primary table indexed by the next [`PRIMARY_BITS`] bits of the
+    /// Primary table indexed by the next `PRIMARY_BITS` bits of the
     /// stream; entry = `symbol << 8 | code_length`, 0 = fall back.
     primary: Vec<u64>,
 }
@@ -386,7 +386,7 @@ impl HuffmanDecoder {
 
     /// Reference bit-by-bit canonical decode (the pre-table
     /// implementation). Kept as the fallback for codes longer than
-    /// [`PRIMARY_BITS`] and for stream tails, and as the oracle the
+    /// `PRIMARY_BITS` and for stream tails, and as the oracle the
     /// equivalence tests compare the fast path against.
     fn decode_one_slow(&self, bits: &mut BitReader) -> Result<u32> {
         let mut code = 0u64;

@@ -28,7 +28,7 @@ pub use bits::{BitReader, BitWriter};
 pub use byteio::{ByteReader, ByteWriter};
 pub use huffman::{HuffmanDecoder, HuffmanEncoder};
 pub use quantizer::{LinearQuantizer, Quantized};
-pub use stream::{Compressor, CompressorId, ErrorBound, Header};
+pub use stream::{CompressStats, Compressor, CompressorId, ErrorBound, Header};
 
 /// Errors produced while decoding compressed streams.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +37,9 @@ pub enum CodecError {
     UnexpectedEof,
     /// A header/field contained an invalid value.
     Corrupt(&'static str),
+    /// An underlying reader/writer failed while streaming a blob
+    /// ([`Compressor::compress_into`] / [`Compressor::decompress_from`]).
+    Io(String),
     /// The stream was produced by an incompatible format version.
     ///
     /// Carries both the version found in the stream and the highest
@@ -60,11 +63,18 @@ impl CodecError {
     }
 }
 
+impl From<std::io::Error> for CodecError {
+    fn from(e: std::io::Error) -> Self {
+        CodecError::Io(e.to_string())
+    }
+}
+
 impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CodecError::UnexpectedEof => write!(f, "unexpected end of compressed stream"),
             CodecError::Corrupt(what) => write!(f, "corrupt compressed stream: {what}"),
+            CodecError::Io(what) => write!(f, "stream I/O error: {what}"),
             CodecError::BadVersion { found, supported } => write!(
                 f,
                 "unsupported stream version {found} (this build reads <= {supported})"

@@ -66,6 +66,23 @@ pub enum ErrorBound {
 }
 
 impl ErrorBound {
+    /// The raw bound value (absolute or relative).
+    pub fn value(self) -> f64 {
+        match self {
+            ErrorBound::Abs(e) | ErrorBound::Rel(e) => e,
+        }
+    }
+
+    /// A bound is usable iff it is finite and strictly positive; NaN,
+    /// infinities, zero and negative values are rejected.
+    /// [`ErrorBound::absolute`] panics on invalid bounds — consumers that
+    /// must fail softly (the `qoz_api` session builder, CLI parsing)
+    /// check this first.
+    pub fn is_valid(self) -> bool {
+        let v = self.value();
+        v.is_finite() && v > 0.0
+    }
+
     /// Resolve to an absolute bound for a concrete array.
     ///
     /// Constant arrays (range 0) under a relative bound resolve to a tiny
@@ -154,6 +171,22 @@ pub fn read_header(r: &mut ByteReader) -> Result<Header> {
     })
 }
 
+/// Byte accounting returned by the streaming compression entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompressStats {
+    /// Size of the uncompressed input (`len * size_of::<T>()`).
+    pub raw_bytes: u64,
+    /// Size of the emitted stream.
+    pub compressed_bytes: u64,
+}
+
+impl CompressStats {
+    /// Compression ratio (raw / compressed).
+    pub fn ratio(&self) -> f64 {
+        self.raw_bytes as f64 / self.compressed_bytes.max(1) as f64
+    }
+}
+
 /// The interface every compressor in the workspace implements.
 pub trait Compressor<T: Scalar> {
     /// Stable identifier (also stored in stream headers).
@@ -164,6 +197,36 @@ pub trait Compressor<T: Scalar> {
 
     /// Decompress a blob produced by [`Compressor::compress`].
     fn decompress(&self, blob: &[u8]) -> Result<NdArray<T>>;
+
+    /// Compress `data` under `bound` straight into a byte sink, avoiding
+    /// a caller-side intermediate buffer.
+    ///
+    /// The bytes written are exactly those [`Compressor::compress`] would
+    /// return — streaming never changes the format. The default
+    /// implementation bridges over the `Vec<u8>` method; backends may
+    /// override it to write incrementally.
+    fn compress_into(
+        &self,
+        data: &NdArray<T>,
+        bound: ErrorBound,
+        sink: &mut dyn std::io::Write,
+    ) -> Result<CompressStats> {
+        let blob = self.compress(data, bound);
+        sink.write_all(&blob)?;
+        Ok(CompressStats {
+            raw_bytes: (data.len() * T::BYTES) as u64,
+            compressed_bytes: blob.len() as u64,
+        })
+    }
+
+    /// Decompress a stream read from `src` (the counterpart of
+    /// [`Compressor::compress_into`]). The default implementation reads
+    /// the source to its end and decodes the buffered blob.
+    fn decompress_from(&self, src: &mut dyn std::io::Read) -> Result<NdArray<T>> {
+        let mut blob = Vec::new();
+        src.read_to_end(&mut blob)?;
+        self.decompress(&blob)
+    }
 
     /// Display name.
     fn name(&self) -> &'static str {
@@ -260,6 +323,85 @@ mod tests {
     fn relative_bound_on_constant_data_positive() {
         let a = NdArray::from_vec(Shape::d1(4), vec![3.0f32; 4]);
         assert!(ErrorBound::Rel(1e-3).absolute(&a) > 0.0);
+    }
+
+    #[test]
+    fn bound_validity() {
+        assert!(ErrorBound::Abs(1e-3).is_valid());
+        assert!(ErrorBound::Rel(0.1).is_valid());
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -1e-3] {
+            assert!(!ErrorBound::Abs(bad).is_valid(), "Abs({bad}) accepted");
+            assert!(!ErrorBound::Rel(bad).is_valid(), "Rel({bad}) accepted");
+        }
+        assert_eq!(ErrorBound::Abs(0.25).value(), 0.25);
+        assert_eq!(ErrorBound::Rel(1e-2).value(), 1e-2);
+    }
+
+    #[test]
+    fn compress_stats_ratio() {
+        let s = CompressStats {
+            raw_bytes: 4000,
+            compressed_bytes: 100,
+        };
+        assert_eq!(s.ratio(), 40.0);
+        // A (pathological) empty stream must not divide by zero.
+        let z = CompressStats {
+            raw_bytes: 8,
+            compressed_bytes: 0,
+        };
+        assert!(z.ratio().is_finite());
+    }
+
+    /// A sink that fails after a few bytes: streaming errors must surface
+    /// as `CodecError::Io`, not panics.
+    struct FailingSink;
+    impl std::io::Write for FailingSink {
+        fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("disk full"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    struct NullCodec;
+    impl Compressor<f32> for NullCodec {
+        fn id(&self) -> CompressorId {
+            CompressorId::Sz3
+        }
+        fn compress(&self, data: &NdArray<f32>, _: ErrorBound) -> Vec<u8> {
+            data.as_slice().iter().map(|v| *v as u8).collect()
+        }
+        fn decompress(&self, blob: &[u8]) -> Result<NdArray<f32>> {
+            Ok(NdArray::from_vec(
+                Shape::d1(blob.len()),
+                blob.iter().map(|&b| b as f32).collect(),
+            ))
+        }
+    }
+
+    #[test]
+    fn streaming_defaults_bridge_vec_methods() {
+        let data = NdArray::from_vec(Shape::d1(5), vec![1.0f32, 2.0, 3.0, 4.0, 5.0]);
+        let codec = NullCodec;
+        let blob = codec.compress(&data, ErrorBound::Abs(1.0));
+        let mut sink = Vec::new();
+        let stats = codec
+            .compress_into(&data, ErrorBound::Abs(1.0), &mut sink)
+            .unwrap();
+        assert_eq!(sink, blob, "compress_into must emit identical bytes");
+        assert_eq!(stats.raw_bytes, 20);
+        assert_eq!(stats.compressed_bytes, blob.len() as u64);
+
+        let from_vec = codec.decompress(&blob).unwrap();
+        let mut cursor = std::io::Cursor::new(&blob);
+        let from_stream = codec.decompress_from(&mut cursor).unwrap();
+        assert_eq!(from_vec.as_slice(), from_stream.as_slice());
+
+        let err = codec
+            .compress_into(&data, ErrorBound::Abs(1.0), &mut FailingSink)
+            .unwrap_err();
+        assert!(matches!(err, CodecError::Io(_)), "{err:?}");
     }
 
     #[test]

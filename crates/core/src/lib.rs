@@ -42,7 +42,10 @@ pub mod fixed_quality;
 pub mod tuning;
 
 pub use config::{level_error_bounds, QozConfig};
-pub use fixed_quality::{FixedQualityResult, QualityTarget};
+pub use fixed_quality::{
+    compress_codec_to_quality, compress_codec_to_ratio, FixedQualityResult, QualityTarget,
+    TargetOutcome,
+};
 
 use qoz_codec::stream::{self, Compressor, CompressorId, ErrorBound, Header};
 use qoz_codec::{ByteReader, ByteWriter, CodecError, LinearQuantizer, Result};

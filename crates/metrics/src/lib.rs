@@ -5,7 +5,7 @@
 //!
 //! * [`error_stats`] — max error, MSE, NRMSE, PSNR (Eq. 1), bound checks,
 //!   error histograms (Fig. 7),
-//! * [`ssim`] — windowed Structural Similarity (Eq. 2–3, Fig. 9),
+//! * [`mod@ssim`] — windowed Structural Similarity (Eq. 2–3, Fig. 9),
 //! * [`autocorr`] — lag-k autocorrelation of compression errors (Eq. 4,
 //!   Fig. 10),
 //! * [`quality`] — the [`quality::QualityMetric`] selector plumbed through

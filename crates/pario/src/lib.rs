@@ -18,4 +18,4 @@ pub mod iomodel;
 pub mod parallel;
 
 pub use iomodel::{IoModel, IoTiming};
-pub use parallel::{chunk_along_dim0, compress_chunks, decompress_chunks};
+pub use parallel::{chunk_along_dim0, compress_chunks, compress_chunks_into, decompress_chunks};

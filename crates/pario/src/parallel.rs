@@ -69,6 +69,37 @@ where
     results
 }
 
+/// Compress every chunk with `threads` workers and stream the blobs, in
+/// chunk order, into `sink`; returns per-chunk byte counts.
+///
+/// This is the chunked-dump path of the streaming API: callers that
+/// persist blobs back-to-back (the archive writer's payload, a per-rank
+/// dump file) take the per-chunk sizes for their index instead of
+/// holding a `Vec<Vec<u8>>` of their own. The parallel stage still
+/// materializes every blob before the ordered write-out begins (chunk
+/// order must be preserved), so peak memory during compression is
+/// unchanged — what the sink variant removes is the *caller's* second
+/// copy of the concatenated payload.
+pub fn compress_chunks_into<T, C>(
+    compressor: &C,
+    chunks: &[NdArray<T>],
+    bound: ErrorBound,
+    threads: usize,
+    sink: &mut dyn std::io::Write,
+) -> Result<Vec<u64>>
+where
+    T: Scalar,
+    C: Compressor<T> + Sync + ?Sized,
+{
+    let blobs = compress_chunks(compressor, chunks, bound, threads);
+    let mut lens = Vec::with_capacity(blobs.len());
+    for blob in blobs {
+        sink.write_all(&blob)?;
+        lens.push(blob.len() as u64);
+    }
+    Ok(lens)
+}
+
 /// Decompress every blob with `threads` workers; returns arrays in blob
 /// order, or the first error encountered.
 pub fn decompress_chunks<T, C>(
@@ -163,11 +194,18 @@ mod tests {
 
         let par = compress_chunks(&c, &chunks, bound, 4);
         // Serial reference.
-        let ser: Vec<Vec<u8>> = chunks
-            .iter()
-            .map(|ch| c.compress_typed(ch, bound))
-            .collect();
+        let ser: Vec<Vec<u8>> = chunks.iter().map(|ch| c.compress(ch, bound)).collect();
         assert_eq!(par, ser, "parallel compression must be deterministic");
+
+        // The streaming variant emits the same bytes, concatenated, and
+        // reports the split points.
+        let mut sink = Vec::new();
+        let lens = compress_chunks_into(&c, &chunks, bound, 4, &mut sink).unwrap();
+        assert_eq!(sink, par.concat());
+        assert_eq!(
+            lens,
+            par.iter().map(|b| b.len() as u64).collect::<Vec<u64>>()
+        );
 
         let recon = decompress_chunks::<f32, _>(&c, &par, 4).unwrap();
         let full = reassemble_dim0(&recon);

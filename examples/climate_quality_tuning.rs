@@ -11,7 +11,8 @@
 //! cargo run --release --example climate_quality_tuning
 //! ```
 
-use qoz_suite::codec::{Compressor, ErrorBound};
+use qoz_suite::api::{BackendId, Session};
+use qoz_suite::codec::ErrorBound;
 use qoz_suite::datagen::{Dataset, SizeClass};
 use qoz_suite::metrics::{self, QualityMetric};
 use qoz_suite::qoz::Qoz;
@@ -36,10 +37,18 @@ fn main() {
         QualityMetric::Ssim,
         QualityMetric::AutoCorrelation,
     ] {
-        let qoz = Qoz::for_metric(metric);
-        let plan = qoz.plan(&data, bound);
-        let blob = qoz.compress_with_plan(&data, &plan);
-        let recon: NdArray<f32> = qoz.decompress(&blob).unwrap();
+        // One session per inclination; the plan (inspected below) shows
+        // what the online tuner decided for it.
+        let session = Session::builder()
+            .backend(BackendId::Qoz)
+            .metric(metric)
+            .bound(bound)
+            .build()
+            .unwrap();
+        let plan = Qoz::for_metric(metric).plan(&data, bound);
+        let out = session.compress(&data).unwrap();
+        let blob = out.blob;
+        let recon: NdArray<f32> = session.decompress(&blob).unwrap();
         assert!(
             metrics::verify_error_bound(&data, &recon, abs).is_none(),
             "all modes must respect the same hard bound"

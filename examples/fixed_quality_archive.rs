@@ -1,17 +1,17 @@
 //! Archive to a quality contract: instead of choosing an error bound and
-//! hoping the quality is right, request the quality directly and let QoZ
-//! find the cheapest bound that satisfies it (the fixed-quality extension
-//! of the paper's related work, built on QoZ's sampling machinery).
+//! hoping the quality is right, request the quality directly and let the
+//! session find the cheapest bound that satisfies it (the fixed-quality
+//! extension of the paper's related work, built on QoZ's sampling
+//! machinery and exposed for every backend through `qoz_api`).
 //!
 //! ```text
 //! cargo run --release --example fixed_quality_archive
 //! ```
 
+use qoz_suite::api::{Session, Target};
 use qoz_suite::datagen::{Dataset, SizeClass};
-use qoz_suite::qoz::{Qoz, QualityTarget};
 
 fn main() {
-    let qoz = Qoz::default();
     println!(
         "{:<12} {:<12} {:>11} {:>11} {:>8}",
         "dataset", "target", "achieved", "rel bound", "CR"
@@ -19,25 +19,23 @@ fn main() {
     for ds in [Dataset::CesmAtm, Dataset::Miranda, Dataset::Hurricane] {
         let data = ds.generate(SizeClass::Small, 0);
         let raw = (data.len() * 4) as f64;
-        for target in [
-            QualityTarget::Psnr(50.0),
-            QualityTarget::Psnr(70.0),
-            QualityTarget::Ssim(0.99),
-        ] {
-            let r = qoz
-                .compress_to_quality(&data, target)
+        for target in [Target::Psnr(50.0), Target::Psnr(70.0), Target::Ssim(0.99)] {
+            let session = Session::builder().target(target).build().unwrap();
+            let out = session
+                .compress(&data)
                 .expect("self-produced stream must decode");
             let label = match target {
-                QualityTarget::Psnr(v) => format!("PSNR>={v}"),
-                QualityTarget::Ssim(v) => format!("SSIM>={v}"),
+                Target::Psnr(v) => format!("PSNR>={v}"),
+                Target::Ssim(v) => format!("SSIM>={v}"),
+                _ => unreachable!(),
             };
             println!(
                 "{:<12} {:<12} {:>11.4} {:>11.3e} {:>8.1}",
                 ds.name(),
                 label,
-                r.achieved,
-                r.rel_bound,
-                raw / r.blob.len() as f64
+                out.achieved.unwrap(),
+                out.rel_bound.unwrap(),
+                raw / out.blob.len() as f64
             );
         }
     }

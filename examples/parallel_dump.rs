@@ -6,10 +6,10 @@
 //! cargo run --release --example parallel_dump
 //! ```
 
-use qoz_suite::codec::{Compressor, ErrorBound};
+use qoz_suite::api::{BackendId, Session};
+use qoz_suite::codec::ErrorBound;
 use qoz_suite::datagen::{Dataset, SizeClass};
 use qoz_suite::pario::{chunk_along_dim0, compress_chunks, decompress_chunks, IoModel};
-use qoz_suite::qoz::Qoz;
 use qoz_suite::tensor::NdArray;
 
 fn main() {
@@ -23,9 +23,14 @@ fn main() {
 
     // 1. Real thread-parallel per-rank compression.
     let chunks = chunk_along_dim0(&data, ranks);
-    let qoz = Qoz::default();
+    let session = Session::builder()
+        .backend(BackendId::Qoz)
+        .bound(bound)
+        .build()
+        .unwrap();
+    let qoz = session.codec::<f32>();
     let t0 = std::time::Instant::now();
-    let blobs = compress_chunks(&qoz, &chunks, bound, ranks);
+    let blobs = compress_chunks(&*qoz, &chunks, bound, ranks);
     let t_par = t0.elapsed().as_secs_f64();
     let raw: usize = chunks.iter().map(|c| c.len() * 4).sum();
     let packed: usize = blobs.iter().map(Vec::len).sum();
@@ -39,7 +44,7 @@ fn main() {
         raw as f64 / 1e6 / t_par
     );
 
-    let recon: Vec<NdArray<f32>> = decompress_chunks(&qoz, &blobs, ranks).unwrap();
+    let recon: Vec<NdArray<f32>> = decompress_chunks(&*qoz, &blobs, ranks).unwrap();
     for (c, r) in chunks.iter().zip(&recon) {
         assert!(c.max_abs_diff(r) <= bound.absolute(c), "bound violated");
     }

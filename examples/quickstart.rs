@@ -5,7 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use qoz_suite::codec::{Compressor, ErrorBound};
+use qoz_suite::api::{BackendId, Session};
+use qoz_suite::codec::ErrorBound;
 use qoz_suite::datagen::{Dataset, SizeClass};
 use qoz_suite::metrics::{self, QualityMetric};
 use qoz_suite::qoz::Qoz;
@@ -21,12 +22,19 @@ fn main() {
         (data.len() * 4) as f64 / 1e6
     );
 
-    // Value-range-relative error bound of 1e-3, tuned for rate-PSNR.
+    // Value-range-relative error bound of 1e-3, tuned for rate-PSNR —
+    // one validated session, built once, reused for every array.
     let bound = ErrorBound::Rel(1e-3);
-    let qoz = Qoz::for_metric(QualityMetric::Psnr);
+    let session = Session::builder()
+        .backend(BackendId::Qoz)
+        .metric(QualityMetric::Psnr)
+        .bound(bound)
+        .build()
+        .expect("bound is valid");
 
-    // The plan shows what the online tuner decided.
-    let plan = qoz.plan(&data, bound);
+    // The plan shows what the online tuner will decide inside the
+    // session's compress call.
+    let plan = Qoz::for_metric(QualityMetric::Psnr).plan(&data, bound);
     println!(
         "tuned plan: alpha={}, beta={}, anchor stride={}, {} levels",
         plan.alpha,
@@ -51,17 +59,16 @@ fn main() {
     }
 
     let t0 = std::time::Instant::now();
-    let blob = qoz.compress(&data, bound);
+    let out = session.compress(&data).expect("compression failed");
     let dt = t0.elapsed();
-    let cr = (data.len() * 4) as f64 / blob.len() as f64;
     println!(
         "compressed: {} bytes, CR = {:.1}x, {:.0} MB/s",
-        blob.len(),
-        cr,
-        (data.len() * 4) as f64 / 1e6 / dt.as_secs_f64()
+        out.stats.compressed_bytes,
+        out.stats.ratio(),
+        out.stats.raw_bytes as f64 / 1e6 / dt.as_secs_f64()
     );
 
-    let recon: NdArray<f32> = qoz.decompress(&blob).expect("decompression failed");
+    let recon: NdArray<f32> = session.decompress(&out.blob).expect("decompression failed");
     let abs = bound.absolute(&data);
     println!(
         "quality: PSNR = {:.2} dB, SSIM = {:.4}, max|err| = {:.3e} (bound {:.3e})",

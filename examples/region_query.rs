@@ -6,10 +6,10 @@
 //! cargo run --release --example region_query
 //! ```
 
+use qoz_suite::api::{BackendId, Session};
 use qoz_suite::archive::{ArchiveReader, ArchiveWriter};
 use qoz_suite::codec::ErrorBound;
 use qoz_suite::datagen::{Dataset, SizeClass};
-use qoz_suite::qoz::Qoz;
 use qoz_suite::tensor::{NdArray, Region};
 
 fn main() {
@@ -23,9 +23,19 @@ fn main() {
 
     // Compress once into a chunked archive.
     let t0 = std::time::Instant::now();
-    let mut w = ArchiveWriter::new().with_chunk_side(32);
-    w.add_variable("wind", &data, &Qoz::default(), ErrorBound::Rel(1e-3))
+    let session = Session::builder()
+        .backend(BackendId::Qoz)
+        .bound(ErrorBound::Rel(1e-3))
+        .build()
         .unwrap();
+    let mut w = ArchiveWriter::new().with_chunk_side(32);
+    w.add_variable(
+        "wind",
+        &data,
+        &*session.codec::<f32>(),
+        ErrorBound::Rel(1e-3),
+    )
+    .unwrap();
     let bytes = w.finish();
     println!(
         "archived: {} chunks, {:.2} MB (CR {:.1}x) in {:.0} ms\n",

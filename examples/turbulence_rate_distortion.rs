@@ -6,13 +6,10 @@
 //! cargo run --release --example turbulence_rate_distortion
 //! ```
 
-use qoz_suite::codec::{Compressor, ErrorBound};
+use qoz_suite::api::BackendRegistry;
+use qoz_suite::codec::ErrorBound;
 use qoz_suite::datagen::{Dataset, SizeClass};
 use qoz_suite::metrics::{self, QualityMetric};
-use qoz_suite::tensor::NdArray;
-
-/// A compressor adapted to return `(blob, reconstruction)` in one call.
-type RoundtripFn = Box<dyn Fn(&NdArray<f32>, ErrorBound) -> (Vec<u8>, NdArray<f32>)>;
 
 fn main() {
     let data = Dataset::Miranda.generate(SizeClass::Small, 0);
@@ -25,22 +22,16 @@ fn main() {
         "codec", "eps", "bitrate", "PSNR", "CR"
     );
 
-    // The five compressors of the paper's evaluation; QoZ tuned for PSNR.
-    let compressors: Vec<(&str, RoundtripFn)> = vec![
-        ("SZ2.1", boxed(qoz_suite::sz2::Sz2::default())),
-        ("SZ3", boxed(qoz_suite::sz3::Sz3::default())),
-        ("ZFP", boxed(qoz_suite::zfp::Zfp)),
-        ("MGARD+", boxed(qoz_suite::mgard::Mgard)),
-        (
-            "QoZ",
-            boxed(qoz_suite::qoz::Qoz::for_metric(QualityMetric::Psnr)),
-        ),
-    ];
+    // The five compressors of the paper's evaluation (one registry,
+    // QoZ tuned for PSNR), in table order.
+    let registry = BackendRegistry::with_metric(QualityMetric::Psnr);
 
-    for (name, run) in &compressors {
+    for codec in registry.paper_set::<f32>() {
+        let name = codec.name();
         for eps in [1e-2, 1e-3, 1e-4] {
             let bound = ErrorBound::Rel(eps);
-            let (blob, recon) = run(&data, bound);
+            let blob = codec.compress(&data, bound);
+            let recon = codec.decompress(&blob).expect("self-produced blob");
             let bitrate = blob.len() as f64 * 8.0 / data.len() as f64;
             println!(
                 "{:<8} {:>9.0e} {:>10.4} {:>9.2} {:>9.1}",
@@ -54,13 +45,4 @@ fn main() {
     }
     println!("\nLower bitrate at equal PSNR (or higher PSNR at equal bitrate) wins;");
     println!("compare the QoZ rows against each baseline at matching eps.");
-}
-
-/// Adapt any `Compressor<f32>` into a closure producing (blob, recon).
-fn boxed<C: Compressor<f32> + 'static>(c: C) -> RoundtripFn {
-    Box::new(move |data, bound| {
-        let blob = c.compress(data, bound);
-        let recon = c.decompress(&blob).expect("self-produced blob");
-        (blob, recon)
-    })
 }

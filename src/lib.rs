@@ -7,21 +7,28 @@
 //! MGARD+), the shared codec substrate, quality metrics, synthetic
 //! stand-ins for the six SDRBench datasets, and the parallel-I/O model.
 //!
-//! This umbrella crate re-exports every workspace crate under one name
-//! for convenience:
+//! This umbrella crate re-exports every workspace crate under one name.
+//! The public door is [`api`] ([`qoz_api`]): builder sessions over a
+//! single backend registry, with bound-first *and* quality-first
+//! targets:
 //!
 //! ```
-//! use qoz_suite::qoz::Qoz;
-//! use qoz_suite::codec::{Compressor, ErrorBound};
-//! use qoz_suite::metrics::QualityMetric;
+//! use qoz_suite::api::{BackendId, Session, Target};
+//! use qoz_suite::codec::ErrorBound;
 //! use qoz_suite::tensor::{NdArray, Shape};
 //!
 //! let data = NdArray::from_fn(Shape::d2(64, 64), |i| {
 //!     ((i[0] as f32) * 0.1).sin() + ((i[1] as f32) * 0.08).cos()
 //! });
-//! let qoz = Qoz::for_metric(QualityMetric::Ssim);
-//! let blob = qoz.compress(&data, ErrorBound::Rel(1e-3));
-//! let recon: NdArray<f32> = qoz.decompress(&blob).unwrap();
+//! // State the goal — a bound, a PSNR, an SSIM, or a ratio — and let
+//! // the session drive any backend toward it.
+//! let session = Session::builder()
+//!     .backend(BackendId::Qoz)
+//!     .bound(ErrorBound::Rel(1e-3))
+//!     .build()
+//!     .unwrap();
+//! let out = session.compress(&data).unwrap();
+//! let recon: NdArray<f32> = session.decompress(&out.blob).unwrap();
 //! assert!(data.max_abs_diff(&recon) <= ErrorBound::Rel(1e-3).absolute(&data));
 //! ```
 //!
@@ -30,6 +37,7 @@
 //! paper-vs-measured results. The `repro` binary (in `qoz-bench`)
 //! regenerates every table and figure.
 
+pub use qoz_api as api;
 pub use qoz_archive as archive;
 pub use qoz_codec as codec;
 pub use qoz_core as qoz;

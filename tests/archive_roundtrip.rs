@@ -207,7 +207,7 @@ fn container_and_stream_formats_do_not_cross() {
     w.add_variable("v", &data, &c, ErrorBound::Abs(1e-3))
         .unwrap();
     let qza = w.finish();
-    assert!(c.decompress_typed::<f32>(&qza).is_err());
+    assert!(Compressor::<f32>::decompress(&c, &qza).is_err());
 }
 
 /// File-backed archives behave identically to in-memory ones.

@@ -105,8 +105,8 @@ fn f64_streams_are_larger_than_f32_at_same_bound() {
     );
     let abs = 1e-3 * f32_data.value_range();
     let qoz = qoz_suite::qoz::Qoz::default();
-    let b32 = qoz.compress_typed(&f32_data, ErrorBound::Abs(abs)).len();
-    let b64 = qoz.compress_typed(&f64_data, ErrorBound::Abs(abs)).len();
+    let b32 = Compressor::<f32>::compress(&qoz, &f32_data, ErrorBound::Abs(abs)).len();
+    let b64 = Compressor::<f64>::compress(&qoz, &f64_data, ErrorBound::Abs(abs)).len();
     // Quantized payload is similar; only side streams grow, so allow a
     // modest factor while asserting direction.
     assert!(b64 >= b32, "f64 {b64} vs f32 {b32}");
