@@ -19,7 +19,13 @@
 //! * streaming sinks — [`Session::compress_into`] and
 //!   [`Session::decompress_from`] move streams straight between arrays
 //!   and `io::Write`/`io::Read` without intermediate whole-stream
-//!   buffers on the caller's side.
+//!   buffers on the caller's side;
+//! * [`Pipeline`] — the stateful handle for time-series workloads:
+//!   [`Session::pipeline`] pairs the session with a cached tuning plan
+//!   and a reusable scratch arena, so repeated same-shape snapshots
+//!   skip QoZ's online tuning and all stage-buffer allocation (warm
+//!   output is byte-identical to cold on unchanged data; a sampled
+//!   drift check re-tunes when the data changes character).
 //!
 //! # Quick start
 //! ```
@@ -62,11 +68,17 @@
 //! only on sampled estimates; unreachable targets converge to the
 //! tightest searched bound and report the shortfall in `achieved`.
 
+mod pipeline;
 mod registry;
 mod session;
 
+pub use pipeline::{Pipeline, PipelineStats};
 pub use registry::{decompress_stream, peek_header, BackendRegistry, Codec};
 pub use session::{Compressed, Session, SessionBuilder, Target};
+
+/// Re-export of the plan-cache outcome reported by
+/// [`Pipeline::last_outcome`].
+pub use qoz_core::PlanOutcome;
 
 /// Identifies a compression backend (re-export of the stream-header id:
 /// a registry id *is* the id stored in every stream the backend emits).

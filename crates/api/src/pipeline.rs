@@ -1,0 +1,289 @@
+//! Stateful compression pipelines: one session, many snapshots, warm.
+//!
+//! A [`Session`] is a validated *configuration*; a [`Pipeline`] is that
+//! configuration plus the mutable state that makes repeated compression
+//! fast:
+//!
+//! * a [`qoz_core::PlanCache`] — QoZ's tuned plan is replayed across
+//!   same-shape/same-bound calls, guarded by a cheap sampled drift
+//!   check (see `qoz_core::pipeline` for the exact semantics), and
+//! * a [`qoz_codec::Scratch`] arena — every stage buffer (working copy,
+//!   quantization bins, side streams, Huffman/LZSS staging) is recycled
+//!   between calls instead of reallocated.
+//!
+//! Compressing *unchanged* data through a warm pipeline produces a
+//! stream byte-identical to the cold path — caching never changes the
+//! format, only the time it takes to emit it. Hard error bounds are
+//! resolved against every snapshot individually, so reuse never loosens
+//! the bound contract.
+
+use crate::registry::Codec;
+use crate::session::{Compressed, Session, Target};
+use crate::{BackendId, Result};
+use qoz_codec::{CompressStats, Scratch};
+use qoz_core::{PlanCache, PlanOutcome, Qoz};
+use qoz_tensor::{NdArray, Scalar};
+
+/// Counters describing how a [`Pipeline`] has served its calls.
+///
+/// Only QoZ bound-target calls exercise the plan cache; other backends
+/// and quality-target searches count as neither warm nor cold here.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Full tunes on an empty cache.
+    pub cold_tunes: u64,
+    /// Cached plan replayed verbatim.
+    pub warm_hits: u64,
+    /// Cached tuning decisions replayed with rescaled level bounds.
+    pub warm_rescales: u64,
+    /// Cache key matched but drift forced a retune (includes key
+    /// changes: new shape, scalar type or bound).
+    pub retunes: u64,
+}
+
+impl PipelineStats {
+    /// Calls that skipped the tuning stage.
+    pub fn warm(&self) -> u64 {
+        self.warm_hits + self.warm_rescales
+    }
+
+    fn record(&mut self, outcome: PlanOutcome) {
+        match outcome {
+            PlanOutcome::ColdTuned => self.cold_tunes += 1,
+            PlanOutcome::WarmHit => self.warm_hits += 1,
+            PlanOutcome::WarmRescaled => self.warm_rescales += 1,
+            PlanOutcome::Retuned => self.retunes += 1,
+        }
+    }
+}
+
+/// A stateful compression handle for repeated (time-series) workloads.
+///
+/// Obtained from [`Session::pipeline`]. Element-type specific (the
+/// scratch arena holds a typed working buffer); spawn one pipeline per
+/// variable you stream. Not `Sync` by design — one pipeline, one serving
+/// loop. For parallel chunk workloads use `qoz_pario`, which keeps one
+/// arena per worker internally.
+pub struct Pipeline<T: Scalar> {
+    session: Session,
+    engine: Engine<T>,
+    scratch: Scratch<T>,
+    stats: PipelineStats,
+    last: Option<PlanOutcome>,
+}
+
+/// The per-backend warm machinery: only QoZ has a plan cache; every
+/// other backend holds its codec once and relies on scratch reuse.
+/// Both variants are boxed-sized (the `Qoz` arm carries the tuning
+/// config and cached plan, the other a trait object).
+enum Engine<T: Scalar> {
+    Qoz(Box<(Qoz, PlanCache)>),
+    Other(Box<dyn Codec<T>>),
+}
+
+impl<T: Scalar> Pipeline<T> {
+    /// Build a pipeline over `session` (prefer [`Session::pipeline`]).
+    pub fn new(session: Session) -> Self {
+        let engine = if session.backend() == BackendId::Qoz {
+            Engine::Qoz(Box::new((
+                session.registry().qoz(),
+                PlanCache::new(session.drift_tolerance()),
+            )))
+        } else {
+            Engine::Other(session.codec::<T>())
+        };
+        Pipeline {
+            engine,
+            scratch: Scratch::new(),
+            stats: PipelineStats::default(),
+            last: None,
+            session,
+        }
+    }
+
+    /// The underlying (immutable) session configuration.
+    pub fn session(&self) -> Session {
+        self.session
+    }
+
+    /// Warm/cold accounting so far.
+    pub fn stats(&self) -> PipelineStats {
+        self.stats
+    }
+
+    /// What the plan cache did on the most recent [`Pipeline::compress`]
+    /// call (`None` when the call did not touch the cache: non-QoZ
+    /// backend or quality/ratio target).
+    pub fn last_outcome(&self) -> Option<PlanOutcome> {
+        self.last
+    }
+
+    /// Drop the cached plan; the next call tunes from scratch. A no-op
+    /// for backends without a plan cache.
+    pub fn invalidate(&mut self) {
+        if let Engine::Qoz(inner) = &mut self.engine {
+            inner.1.invalidate();
+        }
+    }
+
+    /// Compress one snapshot toward the session target.
+    ///
+    /// [`Target::Bound`] sessions run the warm path: QoZ consults the
+    /// plan cache and every backend stages its buffers in the pipeline's
+    /// scratch arena. Quality and ratio targets are bound *searches* —
+    /// they re-probe per snapshot by definition and are delegated to
+    /// [`Session::compress`] unchanged.
+    pub fn compress(&mut self, data: &NdArray<T>) -> Result<Compressed> {
+        match self.session.target() {
+            Target::Bound(bound) => {
+                let raw_bytes = (data.len() * T::BYTES) as u64;
+                let blob = match &mut self.engine {
+                    Engine::Qoz(inner) => {
+                        let (qoz, cache) = &mut **inner;
+                        let (plan, outcome) = qoz.plan_cached(data, bound, cache);
+                        self.stats.record(outcome);
+                        self.last = Some(outcome);
+                        qoz.compress_with_plan_scratched(data, &plan, &mut self.scratch)
+                    }
+                    Engine::Other(codec) => {
+                        self.last = None;
+                        codec.compress_with_scratch(data, bound, &mut self.scratch)
+                    }
+                };
+                Ok(Compressed {
+                    stats: CompressStats {
+                        raw_bytes,
+                        compressed_bytes: blob.len() as u64,
+                    },
+                    blob,
+                    rel_bound: None,
+                    achieved: None,
+                })
+            }
+            _ => {
+                self.last = None;
+                self.session.compress(data)
+            }
+        }
+    }
+
+    /// Compress one snapshot straight into a byte sink (bytes identical
+    /// to [`Pipeline::compress`]).
+    pub fn compress_into(
+        &mut self,
+        data: &NdArray<T>,
+        sink: &mut dyn std::io::Write,
+    ) -> Result<CompressStats> {
+        let out = self.compress(data)?;
+        sink.write_all(&out.blob)
+            .map_err(qoz_codec::CodecError::from)?;
+        Ok(out.stats)
+    }
+
+    /// Decompress any workspace stream (header-driven dispatch, same as
+    /// [`Session::decompress`]).
+    pub fn decompress(&self, blob: &[u8]) -> Result<NdArray<T>> {
+        self.session.decompress(blob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoz_codec::ErrorBound;
+    use qoz_datagen::{Dataset, SizeClass};
+
+    #[test]
+    fn warm_bytes_equal_cold_bytes_on_unchanged_data() {
+        let data = Dataset::Miranda.generate(SizeClass::Tiny, 0);
+        let session = Session::builder()
+            .bound(ErrorBound::Rel(1e-3))
+            .build()
+            .unwrap();
+        let cold = session.compress(&data).unwrap();
+        let mut pipe = session.pipeline::<f32>();
+        let first = pipe.compress(&data).unwrap();
+        let second = pipe.compress(&data).unwrap();
+        assert_eq!(
+            first.blob, cold.blob,
+            "pipeline cold call must match session"
+        );
+        assert_eq!(second.blob, cold.blob, "warm call must be byte-identical");
+        assert_eq!(pipe.stats().cold_tunes, 1);
+        assert_eq!(pipe.stats().warm_hits, 1);
+        assert_eq!(pipe.last_outcome(), Some(PlanOutcome::WarmHit));
+        let recon = pipe.decompress(&second.blob).unwrap();
+        let abs = ErrorBound::Rel(1e-3).absolute(&data);
+        assert!(data.max_abs_diff(&recon) <= abs * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn non_qoz_backends_reuse_scratch_with_identical_bytes() {
+        let data = Dataset::CesmAtm.generate(SizeClass::Tiny, 0);
+        for backend in [BackendId::Sz3, BackendId::Zfp] {
+            let session = Session::builder()
+                .backend(backend)
+                .bound(ErrorBound::Rel(1e-3))
+                .build()
+                .unwrap();
+            let cold = session.compress(&data).unwrap();
+            let mut pipe = session.pipeline::<f32>();
+            for _ in 0..2 {
+                let out = pipe.compress(&data).unwrap();
+                assert_eq!(out.blob, cold.blob, "{backend:?}");
+            }
+            assert_eq!(pipe.last_outcome(), None);
+        }
+    }
+
+    #[test]
+    fn differently_shaped_inputs_regrow_safely() {
+        let big = Dataset::Miranda.generate(SizeClass::Tiny, 0);
+        let small = big.extract_region(&qoz_tensor::Region::new(
+            &[0; 3],
+            &[
+                big.shape().dim(0) / 2,
+                big.shape().dim(1),
+                big.shape().dim(2),
+            ],
+        ));
+        let session = Session::builder()
+            .bound(ErrorBound::Rel(1e-3))
+            .build()
+            .unwrap();
+        let mut pipe = session.pipeline::<f32>();
+        // big -> small -> big: every call must equal its cold stream.
+        for data in [&big, &small, &big] {
+            let warmed = pipe.compress(data).unwrap();
+            let cold = session.compress(data).unwrap();
+            assert_eq!(warmed.blob, cold.blob);
+        }
+        assert_eq!(pipe.stats().retunes, 2, "shape flips retune");
+    }
+
+    #[test]
+    fn quality_targets_delegate_to_session() {
+        let data = Dataset::CesmAtm.generate(SizeClass::Tiny, 0);
+        let session = Session::builder().psnr(50.0).build().unwrap();
+        let mut pipe = session.pipeline::<f32>();
+        let out = pipe.compress(&data).unwrap();
+        assert!(out.achieved.unwrap() >= 50.0);
+        assert_eq!(pipe.last_outcome(), None);
+        assert_eq!(pipe.stats(), PipelineStats::default());
+    }
+
+    #[test]
+    fn compress_into_streams_identical_bytes() {
+        let data = Dataset::Nyx.generate(SizeClass::Tiny, 0);
+        let session = Session::builder()
+            .bound(ErrorBound::Rel(1e-2))
+            .build()
+            .unwrap();
+        let mut pipe = session.pipeline::<f32>();
+        let direct = pipe.compress(&data).unwrap();
+        let mut sink = Vec::new();
+        let stats = pipe.compress_into(&data, &mut sink).unwrap();
+        assert_eq!(sink, direct.blob);
+        assert_eq!(stats.compressed_bytes, direct.blob.len() as u64);
+    }
+}

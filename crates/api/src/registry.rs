@@ -3,8 +3,8 @@
 //!
 //! Before the facade existed this mapping was re-implemented three
 //! times (`qoz_archive::dispatch::compressor_for`,
-//! `qoz_bench::AnyCompressor`, the CLI's `make_codec`); all three now
-//! delegate to — or were replaced by — [`BackendRegistry`].
+//! `qoz_bench::AnyCompressor`, the CLI's `make_codec`); all three were
+//! replaced by [`BackendRegistry`] and have since been deleted.
 
 use crate::{ApiError, BackendId};
 use qoz_codec::stream::read_header;

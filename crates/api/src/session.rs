@@ -58,6 +58,7 @@ pub struct SessionBuilder {
     backend: Option<BackendId>,
     metric: Option<QualityMetric>,
     target: Option<Target>,
+    drift_tolerance: Option<f64>,
 }
 
 impl SessionBuilder {
@@ -101,6 +102,19 @@ impl SessionBuilder {
         self.target(Target::Ratio(cr))
     }
 
+    /// Drift tolerance of the session's [`Pipeline`](crate::Pipeline)
+    /// plan cache: the relative departure of the sampled
+    /// prediction-error estimate (or of the resolved absolute bound)
+    /// beyond which a cached tuning plan is thrown away and the
+    /// pipeline re-tunes. `0.0` reuses plans only for statistically
+    /// indistinguishable snapshots; the default
+    /// ([`qoz_core::pipeline::DEFAULT_DRIFT_TOLERANCE`]) tolerates the
+    /// gentle evolution of consecutive simulation timesteps.
+    pub fn drift_tolerance(mut self, tolerance: f64) -> Self {
+        self.drift_tolerance = Some(tolerance);
+        self
+    }
+
     /// Validate the configuration and build the session.
     ///
     /// This is the single place bounds and targets are checked: NaN,
@@ -113,11 +127,20 @@ impl SessionBuilder {
             "no target set: call .bound()/.psnr()/.ssim()/.ratio() before build()",
         ))?;
         target.validate()?;
+        let drift_tolerance = self
+            .drift_tolerance
+            .unwrap_or(qoz_core::pipeline::DEFAULT_DRIFT_TOLERANCE);
+        if !(drift_tolerance.is_finite() && drift_tolerance >= 0.0) {
+            return Err(ApiError::InvalidTarget(
+                "drift tolerance must be finite and >= 0",
+            ));
+        }
         let metric = self.metric.unwrap_or_else(|| target.implied_metric());
         Ok(Session {
             backend: self.backend.unwrap_or(BackendId::Qoz),
             target,
             registry: BackendRegistry::with_metric(metric),
+            drift_tolerance,
         })
     }
 }
@@ -149,12 +172,27 @@ pub struct Session {
     backend: BackendId,
     target: Target,
     registry: BackendRegistry,
+    drift_tolerance: f64,
 }
 
 impl Session {
     /// Start building a session.
     pub fn builder() -> SessionBuilder {
         SessionBuilder::default()
+    }
+
+    /// The drift tolerance a [`Pipeline`](crate::Pipeline) spawned from
+    /// this session will use for its plan cache.
+    pub fn drift_tolerance(&self) -> f64 {
+        self.drift_tolerance
+    }
+
+    /// Spawn a stateful [`Pipeline`](crate::Pipeline) handle: the same
+    /// session configuration plus a cached tuning plan and a reusable
+    /// scratch arena, for serving repeated (time-series) compression
+    /// fast. See the crate docs' time-series quick start.
+    pub fn pipeline<T: Scalar>(&self) -> crate::Pipeline<T> {
+        crate::Pipeline::new(*self)
     }
 
     /// The backend this session compresses with.

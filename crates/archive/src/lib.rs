@@ -44,15 +44,11 @@
 //! assert!(r.bytes_read() < bytes.len() as u64);
 //! ```
 
-pub mod dispatch;
 pub mod format;
 pub mod reader;
 pub mod source;
 pub mod writer;
 
-// Deprecated alias kept for one release; see `dispatch`.
-#[allow(deprecated)]
-pub use dispatch::decompress_stream;
 pub use format::{fnv1a, ChunkEntry, Toc, VarMeta, MAGIC, VERSION};
 pub use reader::{ArchiveReader, VerifyReport};
 pub use source::{ByteSource, FileSource, SliceSource};

@@ -182,17 +182,20 @@ fn bench_throughput(o: &Opts) {
         }
     }
     let random_access = bench_random_access(o);
+    let timeseries = bench_timeseries(o);
     let json = format!(
         concat!(
-            "{{\n  \"schema\": \"qoz-suite/bench-throughput/v2\",\n",
+            "{{\n  \"schema\": \"qoz-suite/bench-throughput/v3\",\n",
             "  \"size_class\": \"{:?}\",\n",
             "  \"unit\": \"MB/s of raw f32 data\",\n",
             "  \"entries\": [\n{}\n  ],\n",
-            "  \"random_access\": [\n{}\n  ]\n}}\n"
+            "  \"random_access\": [\n{}\n  ],\n",
+            "  \"timeseries\": [\n{}\n  ]\n}}\n"
         ),
         o.size,
         entries.join(",\n"),
-        random_access.join(",\n")
+        random_access.join(",\n"),
+        timeseries.join(",\n")
     );
     if let Some(dir) = std::path::Path::new(&path).parent() {
         std::fs::create_dir_all(dir).unwrap();
@@ -278,6 +281,128 @@ fn bench_random_access(o: &Opts) -> Vec<String> {
             t_region * 1e3,
             t_full * 1e3,
             speedup
+        ));
+    }
+    rows
+}
+
+/// The time-series axis of the `bench` baseline: N consecutive snapshots
+/// of one evolving field, compressed cold (a fresh tune per snapshot,
+/// the pre-pipeline behaviour) versus warm (one `Session::pipeline`
+/// reusing the cached tuning plan and scratch arena). Reports MB/s for
+/// both, the steady-state warm rate (first/cold call excluded), and the
+/// plan-cache counters; verifies every warm stream against its error
+/// bound and checks warm-vs-cold byte equality on a repeated snapshot.
+fn bench_timeseries(o: &Opts) -> Vec<String> {
+    use qoz_api::BackendId;
+
+    const SNAPSHOTS: usize = 6;
+    let base = Dataset::Miranda.shape(o.size);
+    let shape4 = qoz_tensor::Shape::new(&[SNAPSHOTS, base.dim(0), base.dim(1), base.dim(2)]);
+    let field = qoz_datagen::time_series_like(shape4, 0xC0FFEE);
+    let step = base.len();
+    let snapshots: Vec<NdArray<f32>> = (0..SNAPSHOTS)
+        .map(|t| NdArray::from_vec(base, field.as_slice()[t * step..(t + 1) * step].to_vec()))
+        .collect();
+    let eps = 1e-3;
+    let raw_mb = (step * 4 * SNAPSHOTS) as f64 / 1e6;
+
+    println!("\n--- time series: {SNAPSHOTS} snapshots, cold vs warm pipeline (Miranda-like) ---");
+    println!(
+        "{:<8} {:>10} {:>10} {:>12} {:>8} {:>6} {:>8}",
+        "codec", "cold MB/s", "warm MB/s", "steady MB/s", "speedup", "warm", "retunes"
+    );
+
+    let mut rows = Vec::new();
+    for id in [BackendId::Qoz, BackendId::Sz3] {
+        let session = Session::builder()
+            .backend(id)
+            .bound(ErrorBound::Rel(eps))
+            .build()
+            .expect("bound is valid");
+
+        // Cold: every snapshot pays full tuning + fresh allocations.
+        let t0 = std::time::Instant::now();
+        let cold_blobs: Vec<Vec<u8>> = snapshots
+            .iter()
+            .map(|s| session.compress(s).expect("cold compress").blob)
+            .collect();
+        let t_cold = t0.elapsed().as_secs_f64();
+
+        // Warm: one pipeline across the series.
+        let mut pipe = session.pipeline::<f32>();
+        let t0 = std::time::Instant::now();
+        let first = pipe.compress(&snapshots[0]).expect("warm compress").blob;
+        let t_first = t0.elapsed().as_secs_f64();
+        let t0 = std::time::Instant::now();
+        let mut warm_blobs = vec![first];
+        for s in &snapshots[1..] {
+            warm_blobs.push(pipe.compress(s).expect("warm compress").blob);
+        }
+        let t_steady = t0.elapsed().as_secs_f64();
+        let t_warm = t_first + t_steady;
+
+        // Warm streams must honor the per-snapshot bound, and repeating
+        // an unchanged snapshot must reproduce the cold bytes exactly.
+        for (s, blob) in snapshots.iter().zip(&warm_blobs) {
+            let recon: NdArray<f32> = session.decompress(blob).expect("warm blob decodes");
+            let abs = ErrorBound::Rel(eps).absolute(s);
+            assert!(
+                s.max_abs_diff(&recon) <= abs * (1.0 + 1e-9),
+                "{}: warm stream violated the bound",
+                id.name()
+            );
+        }
+        let mut repeat_pipe = session.pipeline::<f32>();
+        repeat_pipe.compress(&snapshots[0]).expect("repeat cold");
+        let repeat = repeat_pipe
+            .compress(&snapshots[0])
+            .expect("repeat warm")
+            .blob;
+        let bytes_equal = repeat == cold_blobs[0];
+        assert!(
+            bytes_equal,
+            "{}: warm repeat of an unchanged snapshot diverged from the cold stream",
+            id.name()
+        );
+
+        let stats = pipe.stats();
+        let cold_mbps = raw_mb / t_cold.max(1e-12);
+        let warm_mbps = raw_mb / t_warm.max(1e-12);
+        let steady_mbps =
+            (raw_mb * (SNAPSHOTS - 1) as f64 / SNAPSHOTS as f64) / t_steady.max(1e-12);
+        let speedup = t_cold / t_warm.max(1e-12);
+        println!(
+            "{:<8} {:>10.1} {:>10.1} {:>12.1} {:>7.2}x {:>6} {:>8}",
+            id.name(),
+            cold_mbps,
+            warm_mbps,
+            steady_mbps,
+            speedup,
+            stats.warm(),
+            stats.retunes
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"backend\": \"{}\", \"dataset\": \"Miranda-TS\", ",
+                "\"snapshots\": {}, \"points\": {}, \"eps_rel\": {:e}, ",
+                "\"cold_mbps\": {:.3}, \"warm_mbps\": {:.3}, ",
+                "\"warm_steady_mbps\": {:.3}, \"speedup\": {:.3}, ",
+                "\"warm_hits\": {}, \"warm_rescales\": {}, \"retunes\": {}, ",
+                "\"bytes_equal_on_repeat\": {}}}"
+            ),
+            id.name(),
+            SNAPSHOTS,
+            step,
+            eps,
+            cold_mbps,
+            warm_mbps,
+            steady_mbps,
+            speedup,
+            stats.warm_hits,
+            stats.warm_rescales,
+            stats.retunes,
+            bytes_equal
         ));
     }
     rows

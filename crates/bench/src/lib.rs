@@ -67,22 +67,6 @@ pub fn evaluate<T: Scalar>(c: &dyn Codec<T>, data: &NdArray<T>, bound: ErrorBoun
     }
 }
 
-/// Binary-search the relative error bound that hits a target compression
-/// ratio (used for the same-CR visual comparison, Fig. 11).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `qoz_api::Session` with `Target::Ratio`, or \
-            `qoz_core::compress_codec_to_ratio`, which also return the stream"
-)]
-pub fn bound_for_target_cr<T: Scalar>(
-    c: &dyn Codec<T>,
-    data: &NdArray<T>,
-    target_cr: f64,
-    iterations: usize,
-) -> f64 {
-    qoz_core::compress_codec_to_ratio(c, data, target_cr, iterations).rel_bound
-}
-
 /// Write rows to a CSV file under `results/`.
 pub fn write_csv(path: &str, header: &str, rows: &[String]) -> std::io::Result<()> {
     if let Some(dir) = std::path::Path::new(path).parent() {
@@ -139,13 +123,12 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn target_cr_search_converges() {
         use qoz_codec::Compressor as _;
         let data = Dataset::Miranda.generate(SizeClass::Tiny, 0);
         let c = qoz_sz3::Sz3::default();
-        let eps = bound_for_target_cr(&c, &data, 30.0, 12);
-        let blob = c.compress(&data, ErrorBound::Rel(eps));
+        let r = qoz_core::compress_codec_to_ratio(&c, &data, 30.0, 12);
+        let blob = c.compress(&data, ErrorBound::Rel(r.rel_bound));
         let cr = (data.len() * 4) as f64 / blob.len() as f64;
         assert!((cr - 30.0).abs() / 30.0 < 0.5, "cr {cr} target 30");
     }

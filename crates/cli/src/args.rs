@@ -12,11 +12,14 @@ use qoz_metrics::QualityMetric;
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// Compress a raw array file.
+    /// Compress one raw array file — or a comma-separated time series of
+    /// same-shape files through one reused pipeline.
     Compress {
-        /// Input raw file.
-        input: String,
-        /// Output stream file.
+        /// Input raw file(s). More than one entry switches to series
+        /// mode: `output` is then a directory and each input lands in
+        /// `<output>/<filename>.qz`.
+        inputs: Vec<String>,
+        /// Output stream file (single input) or directory (series).
         output: String,
         /// Array dimensions.
         dims: Vec<usize>,
@@ -221,8 +224,25 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     })
                 }
             };
+            // A comma means a series — unless the whole string names an
+            // existing file, so filenames that happen to contain commas
+            // keep working as single inputs.
+            let raw_inputs = require("-i")?;
+            let inputs: Vec<String> =
+                if raw_inputs.contains(',') && !std::path::Path::new(raw_inputs).exists() {
+                    raw_inputs
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect()
+                } else {
+                    vec![raw_inputs.to_string()]
+                };
+            if inputs.is_empty() {
+                return Err(CliError::usage("-i needs at least one input file"));
+            }
             Ok(Command::Compress {
-                input: require("-i")?.to_string(),
+                inputs,
                 output: require("-o")?.to_string(),
                 dims: parse_dims(require("-d")?)?,
                 wide: get_flag("-t").map(|t| t == "f64").unwrap_or(false),
@@ -306,6 +326,9 @@ USAGE:
                  | --target psnr:60|ssim:0.98|cr:100)
                  [-t f32|f64] [--codec qoz|sz3|sz2|zfp|mgard]
                  [--metric cr|psnr|ssim|ac]
+                 time series: -i s0.f32,s1.f32,... -o OUTDIR compresses
+                 every snapshot through one reused pipeline (cached
+                 tuning plan + scratch buffers) into OUTDIR/<name>.qz
   qoz decompress -i out.qz -o recon.f32
   qoz info       -i out.qz
   qoz archive    -i in.f32 -o out.qza -d 512x512x512 -e 1e-3 [-m rel|abs]
@@ -353,7 +376,7 @@ mod tests {
         .unwrap();
         match cmd {
             Command::Compress {
-                input,
+                inputs,
                 output,
                 dims,
                 wide,
@@ -361,7 +384,7 @@ mod tests {
                 codec,
                 metric,
             } => {
-                assert_eq!(input, "a.f32");
+                assert_eq!(inputs, vec!["a.f32"]);
                 assert_eq!(output, "a.qz");
                 assert_eq!(dims, vec![64, 64]);
                 assert!(!wide);
@@ -394,6 +417,52 @@ mod tests {
             }
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn parse_series_inputs() {
+        let cmd = parse(&sv(&[
+            "compress",
+            "-i",
+            "s0.f32,s1.f32, s2.f32",
+            "-o",
+            "outdir",
+            "-d",
+            "8x8",
+            "-e",
+            "1e-3",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Compress { inputs, output, .. } => {
+                assert_eq!(inputs, vec!["s0.f32", "s1.f32", "s2.f32"]);
+                assert_eq!(output, "outdir");
+            }
+            _ => unreachable!(),
+        }
+        // An input list that collapses to nothing is a usage error.
+        assert!(parse(&sv(&[
+            "compress", "-i", ",,", "-o", "b", "-d", "8x8", "-e", "1e-3"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn existing_file_with_comma_in_name_stays_single_input() {
+        let path = std::env::temp_dir()
+            .join(format!("qoz_args_a,b_{}.f32", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        std::fs::write(&path, b"xx").unwrap();
+        let cmd = parse(&sv(&[
+            "compress", "-i", &path, "-o", "out.qz", "-d", "8x8", "-e", "1e-3",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Compress { inputs, .. } => assert_eq!(inputs, vec![path.clone()]),
+            _ => unreachable!(),
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use crate::args::{Command, USAGE};
 use crate::rawio;
 use crate::CliError;
-use qoz_api::{Session, Target};
+use qoz_api::{PlanOutcome, Session, Target};
 use qoz_archive::{ArchiveReader, ArchiveWriter};
 use qoz_codec::stream::ErrorBound;
 use qoz_metrics::QualityReport;
@@ -59,6 +59,73 @@ fn compress_one<T: Scalar>(
     }
 }
 
+/// Compress a time series of same-shape raw files through one reused
+/// pipeline (cached tuning plan + scratch arena), one `<name>.qz` per
+/// input under `outdir`; returns per-snapshot report lines plus a
+/// warm/cold summary.
+fn compress_series<T: Scalar>(
+    session: &Session,
+    inputs: &[String],
+    outdir: &str,
+    shape: Shape,
+) -> Result<Vec<String>, CliError> {
+    // Outputs are named by input basename; two inputs sharing one would
+    // silently overwrite each other — reject that up front.
+    let names: Vec<String> = inputs
+        .iter()
+        .map(|input| {
+            std::path::Path::new(input)
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| input.clone())
+        })
+        .collect();
+    for (i, name) in names.iter().enumerate() {
+        if names[..i].contains(name) {
+            return Err(CliError::usage(format!(
+                "series inputs collide on output name '{name}.qz' \
+                 (outputs are named by input file name)"
+            )));
+        }
+    }
+    std::fs::create_dir_all(outdir)
+        .map_err(|e| CliError::runtime(format!("cannot create {outdir}: {e}")))?;
+    let mut pipe = session.pipeline::<T>();
+    let mut lines = Vec::with_capacity(inputs.len() + 1);
+    for (input, name) in inputs.iter().zip(&names) {
+        let data: NdArray<T> = rawio::read_raw(input, shape)?;
+        let out = pipe.compress(&data)?;
+        let output = format!("{outdir}/{name}.qz");
+        write_atomically(&output, |sink| {
+            std::io::Write::write_all(sink, &out.blob)?;
+            Ok(())
+        })?;
+        let tag = match pipe.last_outcome() {
+            Some(PlanOutcome::ColdTuned) => "cold tune",
+            Some(PlanOutcome::WarmHit) => "warm",
+            Some(PlanOutcome::WarmRescaled) => "warm, rescaled",
+            Some(PlanOutcome::Retuned) => "retuned",
+            None => "untracked",
+        };
+        lines.push(format!(
+            "{input} -> {output}: {} -> {} bytes (CR {:.2}x, {tag})",
+            out.stats.raw_bytes,
+            out.stats.compressed_bytes,
+            out.stats.ratio()
+        ));
+    }
+    let s = pipe.stats();
+    lines.push(format!(
+        "series: {} snapshots, {} warm, {} tuned ({} cold + {} drift retunes)",
+        inputs.len(),
+        s.warm(),
+        s.cold_tunes + s.retunes,
+        s.cold_tunes,
+        s.retunes
+    ));
+    Ok(lines)
+}
+
 /// Stream into a sibling temp file and rename over `output` on success,
 /// so a mid-write failure never truncates an existing output.
 fn write_atomically<R>(
@@ -92,7 +159,7 @@ pub fn run(cmd: Command) -> Result<Vec<String>, CliError> {
     match cmd {
         Command::Help => Ok(vec![USAGE.to_string()]),
         Command::Compress {
-            input,
+            inputs,
             output,
             dims,
             wide,
@@ -108,12 +175,21 @@ pub fn run(cmd: Command) -> Result<Vec<String>, CliError> {
                 builder = builder.metric(metric);
             }
             let session = builder.build()?;
+            if inputs.len() > 1 {
+                // Series mode: one pipeline, `output` is a directory.
+                return if wide {
+                    compress_series::<f64>(&session, &inputs, &output, shape)
+                } else {
+                    compress_series::<f32>(&session, &inputs, &output, shape)
+                };
+            }
+            let input = &inputs[0];
             let line = if wide {
-                let data: NdArray<f64> = rawio::read_raw(&input, shape)?;
-                compress_one(&session, &data, &input, &output)?
+                let data: NdArray<f64> = rawio::read_raw(input, shape)?;
+                compress_one(&session, &data, input, &output)?
             } else {
-                let data: NdArray<f32> = rawio::read_raw(&input, shape)?;
-                compress_one(&session, &data, &input, &output)?
+                let data: NdArray<f32> = rawio::read_raw(input, shape)?;
+                compress_one(&session, &data, input, &output)?
             };
             Ok(vec![line])
         }
@@ -400,6 +476,79 @@ mod tests {
         for f in [&raw, &qz, &rec] {
             std::fs::remove_file(f).ok();
         }
+    }
+
+    #[test]
+    fn time_series_compress_reuses_one_pipeline() {
+        // Three consecutive snapshots of an evolving 3D field.
+        let field = qoz_datagen::time_series_like(qoz_tensor::Shape::new(&[3, 16, 16, 16]), 11);
+        let step = 16 * 16 * 16;
+        let mut paths = Vec::new();
+        for t in 0..3 {
+            let p = tmp(&format!("series_{t}.f32"));
+            let slab = &field.as_slice()[t * step..(t + 1) * step];
+            let bytes: Vec<u8> = slab.iter().flat_map(|v| v.to_le_bytes()).collect();
+            std::fs::write(&p, bytes).unwrap();
+            paths.push(p);
+        }
+        let outdir = tmp("series_out");
+        let out = run(parse(&sv(&[
+            "compress",
+            "-i",
+            &paths.join(","),
+            "-o",
+            &outdir,
+            "-d",
+            "16x16x16",
+            "-e",
+            "1e-3",
+        ]))
+        .unwrap())
+        .unwrap();
+        // One line per snapshot plus the summary; the pipeline must have
+        // served at least one snapshot warm.
+        assert_eq!(out.len(), 4, "{out:?}");
+        let summary = out.last().unwrap();
+        assert!(summary.contains("3 snapshots"), "{summary}");
+        assert!(!summary.contains("0 warm"), "{summary}");
+
+        // Every emitted stream decodes back to its snapshot within bound.
+        for (t, p) in paths.iter().enumerate() {
+            let name = std::path::Path::new(p)
+                .file_name()
+                .unwrap()
+                .to_string_lossy();
+            let qz = format!("{outdir}/{name}.qz");
+            let blob = std::fs::read(&qz).unwrap();
+            let recon: NdArray<f32> = qoz_api::decompress_stream(&blob).unwrap();
+            let slab = &field.as_slice()[t * step..(t + 1) * step];
+            let orig = NdArray::from_vec(Shape::d3(16, 16, 16), slab.to_vec());
+            let abs = ErrorBound::Rel(1e-3).absolute(&orig);
+            assert!(
+                orig.max_abs_diff(&recon) <= abs * (1.0 + 1e-9),
+                "snapshot {t}"
+            );
+            std::fs::remove_file(&qz).ok();
+            std::fs::remove_file(p).ok();
+        }
+        std::fs::remove_dir_all(&outdir).ok();
+    }
+
+    #[test]
+    fn series_inputs_with_colliding_names_rejected() {
+        // Same basename in two directories would overwrite one output.
+        let err = run(Command::Compress {
+            inputs: vec!["runA/x.f32".into(), "runB/x.f32".into()],
+            output: tmp("collide_out"),
+            dims: vec![8, 8],
+            wide: false,
+            target: Target::Bound(ErrorBound::Rel(1e-3)),
+            codec: qoz_api::BackendId::Qoz,
+            metric: None,
+        })
+        .unwrap_err();
+        assert_eq!(err.code, 2, "{err}");
+        assert!(err.message.contains("collide"), "{err}");
     }
 
     #[test]

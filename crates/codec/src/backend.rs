@@ -7,7 +7,8 @@
 
 use crate::byteio::{ByteReader, ByteWriter};
 use crate::huffman::{HuffmanDecoder, HuffmanEncoder};
-use crate::lz::{lzss_compress, lzss_decompress};
+use crate::lz::{lzss_compress_with, lzss_decompress};
+use crate::scratch::EntropyScratch;
 use crate::{CodecError, Result};
 
 /// Marker distinguishing an empty bin stream from a populated one.
@@ -18,20 +19,32 @@ const TAG_DATA: u8 = 1;
 ///
 /// Produces a self-contained blob: `tag, LZSS(Huffman(bins))`.
 pub fn encode_bins(bins: &[u32]) -> Vec<u8> {
-    let mut out = ByteWriter::with_capacity(bins.len() / 4 + 16);
-    match HuffmanEncoder::from_symbols(bins) {
+    let mut out = Vec::new();
+    encode_bins_with(bins, &mut EntropyScratch::new(), &mut out);
+    out
+}
+
+/// [`encode_bins`] with caller-provided working memory: clears `out` and
+/// fills it with exactly the bytes `encode_bins` would return, staging
+/// the Huffman and LZSS passes in the recycled `scratch` buffers.
+pub fn encode_bins_with(bins: &[u32], scratch: &mut EntropyScratch, out: &mut Vec<u8>) {
+    let mut w = ByteWriter::from_vec(std::mem::take(out));
+    w.reserve(bins.len() / 4 + 16);
+    match HuffmanEncoder::from_symbols_with(bins, &mut scratch.huffman) {
         None => {
-            out.put_u8(TAG_EMPTY);
+            w.put_u8(TAG_EMPTY);
         }
         Some(enc) => {
-            out.put_u8(TAG_DATA);
-            let mut huff = ByteWriter::with_capacity(bins.len() / 4 + 16);
-            enc.encode(bins, &mut huff);
-            let packed = lzss_compress(&huff.finish());
-            out.put_len_prefixed(&packed);
+            w.put_u8(TAG_DATA);
+            let mut huff = ByteWriter::from_vec(std::mem::take(&mut scratch.huff));
+            enc.encode_with(bins, &mut scratch.bits, &mut huff);
+            let huff = huff.into_vec();
+            lzss_compress_with(&huff, &mut scratch.lz, &mut scratch.packed);
+            scratch.huff = huff;
+            w.put_len_prefixed(&scratch.packed);
         }
     }
-    out.finish()
+    *out = w.finish();
 }
 
 /// Inverse of [`encode_bins`].
@@ -53,7 +66,14 @@ pub fn decode_bins(blob: &[u8]) -> Result<Vec<u32>> {
 /// and exact-value side streams). Currently LZSS; kept behind a function
 /// so the backend can be swapped without touching compressors.
 pub fn lossless_compress(data: &[u8]) -> Vec<u8> {
-    lzss_compress(data)
+    crate::lz::lzss_compress(data)
+}
+
+/// [`lossless_compress`] with caller-provided working memory: clears
+/// `out` and fills it with exactly the bytes `lossless_compress` would
+/// return.
+pub fn lossless_compress_with(data: &[u8], scratch: &mut EntropyScratch, out: &mut Vec<u8>) {
+    lzss_compress_with(data, &mut scratch.lz, out);
 }
 
 /// Inverse of [`lossless_compress`].

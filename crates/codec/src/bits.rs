@@ -28,6 +28,18 @@ impl BitWriter {
         Self::default()
     }
 
+    /// Adopt a recycled backing buffer: contents are cleared, capacity
+    /// is kept. Lets entropy-stage scratch arenas reuse the bitstream
+    /// allocation across calls.
+    pub fn from_vec(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        BitWriter {
+            buf,
+            acc: 0,
+            used: 0,
+        }
+    }
+
     /// Append a single bit.
     #[inline]
     pub fn put_bit(&mut self, bit: bool) {

@@ -6,12 +6,17 @@
 //! or corrupted inputs surface as [`CodecError`] values rather than panics.
 
 use crate::{CodecError, Result};
-use bytes::{BufMut, BytesMut};
+use bytes::BufMut;
 
 /// Growable little-endian byte sink.
+///
+/// Backed by a plain `Vec<u8>` so scratch arenas can recycle the
+/// allocation across calls: [`ByteWriter::from_vec`] adopts a spent
+/// buffer (clearing its contents, keeping its capacity) and
+/// [`ByteWriter::into_vec`] hands the backing store back without a copy.
 #[derive(Default, Debug)]
 pub struct ByteWriter {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl ByteWriter {
@@ -23,8 +28,27 @@ impl ByteWriter {
     /// Create a writer with pre-reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
         ByteWriter {
-            buf: BytesMut::with_capacity(cap),
+            buf: Vec::with_capacity(cap),
         }
+    }
+
+    /// Adopt a recycled buffer: contents are cleared, capacity is kept.
+    pub fn from_vec(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        ByteWriter { buf }
+    }
+
+    /// Finish and return the backing buffer (alias of [`finish`] that
+    /// reads naturally at recycle sites).
+    ///
+    /// [`finish`]: ByteWriter::finish
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Reserve capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
     }
 
     /// Bytes written so far.
@@ -86,9 +110,9 @@ impl ByteWriter {
         self.put_bytes(bytes);
     }
 
-    /// Finish and return the accumulated buffer.
+    /// Finish and return the accumulated buffer (no copy).
     pub fn finish(self) -> Vec<u8> {
-        self.buf.to_vec()
+        self.buf
     }
 }
 

@@ -168,11 +168,33 @@ pub struct HuffmanEncoder {
     entries: Vec<(u32, u32)>,
 }
 
+/// Reusable frequency-counting buffer for [`HuffmanEncoder::from_symbols_with`].
+///
+/// The dense count table is sized by the largest symbol (tens of
+/// thousands of entries for quantizer bins); recycling it removes the
+/// biggest table-construction allocation from repeated encodes.
+#[derive(Debug, Default)]
+pub struct HuffmanScratch {
+    counts: Vec<u64>,
+}
+
+impl HuffmanScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl HuffmanEncoder {
     /// Build an encoder from the symbols that will be encoded.
     ///
     /// Returns `None` for an empty input (nothing to encode).
     pub fn from_symbols(symbols: &[u32]) -> Option<Self> {
+        Self::from_symbols_with(symbols, &mut HuffmanScratch::new())
+    }
+
+    /// [`HuffmanEncoder::from_symbols`] with a recycled counting buffer.
+    pub fn from_symbols_with(symbols: &[u32], scratch: &mut HuffmanScratch) -> Option<Self> {
         if symbols.is_empty() {
             return None;
         }
@@ -182,7 +204,9 @@ impl HuffmanEncoder {
         let max = symbols.iter().copied().max().unwrap() as usize;
         let mut freqs: Vec<(u32, u64)>;
         if max <= symbols.len().saturating_mul(16) + DENSE_SYMBOL_SLACK {
-            let mut counts = vec![0u64; max + 1];
+            let counts = &mut scratch.counts;
+            counts.clear();
+            counts.resize(max + 1, 0);
             for &s in symbols {
                 counts[s as usize] += 1;
             }
@@ -242,12 +266,19 @@ impl HuffmanEncoder {
     /// length), then varint payload symbol count, varint payload byte
     /// length, payload bits.
     pub fn encode(&self, symbols: &[u32], out: &mut ByteWriter) {
+        self.encode_with(symbols, &mut Vec::new(), out);
+    }
+
+    /// [`HuffmanEncoder::encode`] with a recycled bitstream backing
+    /// store: the payload is accumulated in `bit_buf`'s allocation and
+    /// the buffer is handed back (holding the payload) for the next call.
+    pub fn encode_with(&self, symbols: &[u32], bit_buf: &mut Vec<u8>, out: &mut ByteWriter) {
         out.put_varint(self.entries.len() as u64);
         for &(sym, len) in &self.entries {
             out.put_varint(sym as u64);
             out.put_u8(len as u8);
         }
-        let mut bits = BitWriter::new();
+        let mut bits = BitWriter::from_vec(std::mem::take(bit_buf));
         match &self.table {
             SymbolTable::Dense(v) => {
                 for &s in symbols {
@@ -266,6 +297,7 @@ impl HuffmanEncoder {
         let payload = bits.finish();
         out.put_varint(symbols.len() as u64);
         out.put_len_prefixed(&payload);
+        *bit_buf = payload;
     }
 }
 

@@ -10,7 +10,10 @@
 //! * [`quantizer`] — the error-bounded linear-scale quantizer (SZ §III),
 //! * [`huffman`] — canonical Huffman coding over `u32` symbols,
 //! * [`lz`] — an LZSS dictionary coder standing in for zstd,
-//! * [`backend`] — the composed `bins → Huffman → LZSS` lossless backend.
+//! * [`backend`] — the composed `bins → Huffman → LZSS` lossless backend,
+//! * [`scratch`] — reusable per-pipeline stage buffers; every stage above
+//!   has a `*_with` variant that stages its work in a recycled arena and
+//!   produces byte-identical output.
 //!
 //! All decoders return [`CodecError`] on malformed input instead of
 //! panicking; corrupted streams must never crash a consumer.
@@ -21,13 +24,18 @@ pub mod byteio;
 pub mod huffman;
 pub mod lz;
 pub mod quantizer;
+pub mod scratch;
 pub mod stream;
 
-pub use backend::{decode_bins, encode_bins, lossless_compress, lossless_decompress};
+pub use backend::{
+    decode_bins, encode_bins, encode_bins_with, lossless_compress, lossless_compress_with,
+    lossless_decompress,
+};
 pub use bits::{BitReader, BitWriter};
 pub use byteio::{ByteReader, ByteWriter};
 pub use huffman::{HuffmanDecoder, HuffmanEncoder};
 pub use quantizer::{LinearQuantizer, Quantized};
+pub use scratch::{EntropyScratch, Scratch};
 pub use stream::{CompressStats, Compressor, CompressorId, ErrorBound, Header};
 
 /// Errors produced while decoding compressed streams.

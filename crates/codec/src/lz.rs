@@ -31,22 +31,61 @@ fn hash4(data: &[u8]) -> usize {
     (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
 }
 
+/// Reusable working memory for [`lzss_compress_with`].
+///
+/// The match finder allocates two large chain tables (`head` is 2^15
+/// entries, `prev` 2^16) plus flag/literal/match staging on every call;
+/// for repeated compression of similar-sized inputs these dominate the
+/// allocator traffic of the lossless stage. A scratch keeps them alive
+/// across calls — buffers are cleared, capacity is retained.
+#[derive(Debug, Default)]
+pub struct LzScratch {
+    head: Vec<usize>,
+    prev: Vec<usize>,
+    bits: Vec<u8>,
+    literals: Vec<u8>,
+    matches: Vec<(u16, u8)>,
+}
+
+impl LzScratch {
+    /// Fresh, empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Compress `input` with LZSS. The output starts with a varint of the
 /// uncompressed length.
 pub fn lzss_compress(input: &[u8]) -> Vec<u8> {
-    let mut out = ByteWriter::with_capacity(input.len() / 2 + 16);
-    out.put_varint(input.len() as u64);
+    let mut out = Vec::new();
+    lzss_compress_with(input, &mut LzScratch::new(), &mut out);
+    out
+}
+
+/// [`lzss_compress`] with caller-provided working memory: clears `out`
+/// and fills it with exactly the bytes `lzss_compress` would return.
+pub fn lzss_compress_with(input: &[u8], scratch: &mut LzScratch, out: &mut Vec<u8>) {
+    let mut w = ByteWriter::from_vec(std::mem::take(out));
+    w.reserve(input.len() / 2 + 16);
+    w.put_varint(input.len() as u64);
     if input.is_empty() {
-        return out.finish();
+        *out = w.finish();
+        return;
     }
 
-    let mut bits = BitWriter::new();
-    let mut literals: Vec<u8> = Vec::with_capacity(input.len() / 2);
-    let mut matches: Vec<(u16, u8)> = Vec::new();
+    let mut bits = BitWriter::from_vec(std::mem::take(&mut scratch.bits));
+    scratch.literals.clear();
+    scratch.matches.clear();
+    let literals = &mut scratch.literals;
+    let matches = &mut scratch.matches;
 
     // head[h] = most recent position with hash h; prev[i % WINDOW] = chain.
-    let mut head = vec![usize::MAX; HASH_SIZE];
-    let mut prev = vec![usize::MAX; WINDOW];
+    scratch.head.clear();
+    scratch.head.resize(HASH_SIZE, usize::MAX);
+    scratch.prev.clear();
+    scratch.prev.resize(WINDOW, usize::MAX);
+    let head = &mut scratch.head;
+    let prev = &mut scratch.prev;
 
     let n = input.len();
     let mut i = 0;
@@ -103,14 +142,16 @@ pub fn lzss_compress(input: &[u8]) -> Vec<u8> {
         }
     }
 
-    out.put_len_prefixed(&bits.finish());
-    out.put_len_prefixed(&literals);
-    out.put_varint(matches.len() as u64);
-    for (dist, len) in matches {
-        out.put_u16(dist);
-        out.put_u8(len);
+    let payload = bits.finish();
+    w.put_len_prefixed(&payload);
+    scratch.bits = payload; // recycle the bitstream backing store
+    w.put_len_prefixed(literals);
+    w.put_varint(matches.len() as u64);
+    for &(dist, len) in matches.iter() {
+        w.put_u16(dist);
+        w.put_u8(len);
     }
-    out.finish()
+    *out = w.finish();
 }
 
 /// Decompress a buffer produced by [`lzss_compress`].

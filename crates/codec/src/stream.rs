@@ -195,6 +195,25 @@ pub trait Compressor<T: Scalar> {
     /// Compress `data` under `bound`, returning a self-describing blob.
     fn compress(&self, data: &NdArray<T>, bound: ErrorBound) -> Vec<u8>;
 
+    /// Compress `data` under `bound`, staging intermediate buffers in a
+    /// reusable [`Scratch`](crate::scratch::Scratch) arena.
+    ///
+    /// Long-lived callers (pipeline handles, parallel chunk workers)
+    /// keep one arena per logical worker and amortize stage-buffer
+    /// allocations across calls. The bytes returned are exactly those of
+    /// [`Compressor::compress`] — scratch never changes the stream. The
+    /// default implementation ignores the arena; backends with heavy
+    /// stage buffers (QoZ, SZ3) override it.
+    fn compress_with_scratch(
+        &self,
+        data: &NdArray<T>,
+        bound: ErrorBound,
+        scratch: &mut crate::scratch::Scratch<T>,
+    ) -> Vec<u8> {
+        let _ = scratch;
+        self.compress(data, bound)
+    }
+
     /// Decompress a blob produced by [`Compressor::compress`].
     fn decompress(&self, blob: &[u8]) -> Result<NdArray<T>>;
 

@@ -39,6 +39,7 @@
 pub mod ablation;
 pub mod config;
 pub mod fixed_quality;
+pub mod pipeline;
 pub mod tuning;
 
 pub use config::{level_error_bounds, QozConfig};
@@ -46,12 +47,13 @@ pub use fixed_quality::{
     compress_codec_to_quality, compress_codec_to_ratio, FixedQualityResult, QualityTarget,
     TargetOutcome,
 };
+pub use pipeline::{PlanCache, PlanOutcome};
 
 use qoz_codec::stream::{self, Compressor, CompressorId, ErrorBound, Header};
-use qoz_codec::{ByteReader, ByteWriter, CodecError, LinearQuantizer, Result};
+use qoz_codec::{ByteReader, CodecError, LinearQuantizer, Result, Scratch};
 use qoz_metrics::QualityMetric;
 use qoz_predict::LevelConfig;
-use qoz_sz3::{compress_with_spec, decompress_with_spec, select_global_interp, InterpSpec};
+use qoz_sz3::{decompress_with_spec, select_global_interp, InterpSpec};
 use qoz_tensor::{sample_blocks, NdArray, SamplePlan, Scalar};
 
 /// The tuned plan a compression run settled on — exposed for inspection,
@@ -152,22 +154,31 @@ impl Qoz {
     /// Compress with a pre-computed plan (used by the ablation benches to
     /// re-apply identical tuning decisions).
     pub fn compress_with_plan<T: Scalar>(&self, data: &NdArray<T>, plan: &QozPlan) -> Vec<u8> {
-        let out = compress_with_spec(data, &plan.spec);
-        let mut w = ByteWriter::with_capacity(data.len() / 4 + 64);
-        stream::write_header(
-            &mut w,
+        self.compress_with_plan_scratched(data, plan, &mut Scratch::new())
+    }
+
+    /// [`Qoz::compress_with_plan`] staging its buffers in a reusable
+    /// arena; bytes are identical. This is the warm path of a
+    /// [`pipeline::PlanCache`]-driven caller: with the tuning already
+    /// done and the stage buffers already grown, a repeated same-shape
+    /// snapshot costs one prediction pass plus entropy coding.
+    pub fn compress_with_plan_scratched<T: Scalar>(
+        &self,
+        data: &NdArray<T>,
+        plan: &QozPlan,
+        scratch: &mut Scratch<T>,
+    ) -> Vec<u8> {
+        qoz_sz3::compress_with_spec_into(data, &plan.spec, scratch);
+        qoz_sz3::engine::write_stream(
             &Header {
                 compressor: CompressorId::Qoz,
                 scalar_tag: T::TYPE_TAG,
                 shape: data.shape(),
                 abs_eb: plan.abs_eb,
             },
-        );
-        plan.spec.write(&mut w);
-        w.put_len_prefixed(&qoz_codec::encode_bins(&out.bins));
-        w.put_len_prefixed(&qoz_codec::lossless_compress(&out.unpred));
-        w.put_len_prefixed(&qoz_codec::lossless_compress(&out.anchors));
-        w.finish()
+            &plan.spec,
+            scratch,
+        )
     }
 
     /// Typed compression entry point.
@@ -200,6 +211,15 @@ impl<T: Scalar> Compressor<T> for Qoz {
     }
     fn compress(&self, data: &NdArray<T>, bound: ErrorBound) -> Vec<u8> {
         self.compress_typed(data, bound)
+    }
+    fn compress_with_scratch(
+        &self,
+        data: &NdArray<T>,
+        bound: ErrorBound,
+        scratch: &mut Scratch<T>,
+    ) -> Vec<u8> {
+        let plan = self.plan(data, bound);
+        self.compress_with_plan_scratched(data, &plan, scratch)
     }
     fn decompress(&self, blob: &[u8]) -> Result<NdArray<T>> {
         self.decompress_typed(blob)

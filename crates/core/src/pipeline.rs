@@ -1,0 +1,351 @@
+//! Plan caching for repeated, same-shape compression (time series).
+//!
+//! QoZ's online tuning (sampling, Algorithm-1 level-interpolator
+//! selection, `(alpha, beta)` auto-tuning) is the dominant cost of a
+//! compression call, yet scientific workloads dump the *same* variables
+//! every timestep: consecutive snapshots are statistically near-identical
+//! and re-derive the same plan. A [`PlanCache`] remembers the last tuned
+//! [`QozPlan`] per `(shape, scalar type, bound)` and replays it while a
+//! cheap sampled drift check says the data still looks like the data the
+//! plan was tuned on.
+//!
+//! # Warm-path semantics
+//!
+//! [`Qoz::plan_cached`] returns one of four [`PlanOutcome`]s:
+//!
+//! * **`ColdTuned`** — first call: full tuning ran, plan cached.
+//! * **`WarmHit`** — cache key matched, drift within tolerance, and the
+//!   resolved absolute bound is bit-identical to the cached plan's. The
+//!   cached plan is replayed as-is, so compressing *unchanged data* warm
+//!   produces a stream byte-identical to the cold path.
+//! * **`WarmRescaled`** — tuning decisions (anchor stride, per-level
+//!   interpolators, `(alpha, beta)`) are replayed but the per-level
+//!   error bounds are rebuilt from *this call's* resolved absolute
+//!   bound (a relative bound resolves against each snapshot's value
+//!   range). This keeps the hard error-bound contract exact on every
+//!   call — reuse never loosens a bound.
+//! * **`Retuned`** — the key matched but the drift check failed (or the
+//!   resolved bound moved beyond tolerance): full tuning ran again and
+//!   the cache was refreshed. A shape, scalar-type or bound-spec change
+//!   likewise retunes.
+//!
+//! The drift check compresses the standard sampled blocks with a fixed
+//! cheap spec and compares the mean absolute prediction error against
+//! the value recorded when the cached plan was tuned; departure beyond
+//! the configurable tolerance means the field's predictability changed
+//! enough that the cached `(alpha, beta)`/interpolator choices are
+//! suspect.
+
+use crate::config::level_error_bounds;
+use crate::{Qoz, QozPlan};
+use qoz_codec::stream::ErrorBound;
+use qoz_sz3::{compress_with_spec_into, InterpSpec};
+use qoz_tensor::{sample_blocks, NdArray, SamplePlan, Scalar, Shape};
+
+/// Default relative tolerance of the sampled drift check.
+pub const DEFAULT_DRIFT_TOLERANCE: f64 = 0.2;
+
+/// Anchor stride of the fixed drift-probe spec (matches the sampled
+/// estimator in `fixed_quality`).
+const PROBE_ANCHOR: u32 = 16;
+
+/// What [`Qoz::plan_cached`] did to satisfy a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanOutcome {
+    /// Empty cache: full tuning ran and the plan was stored.
+    ColdTuned,
+    /// Cached plan replayed verbatim (resolved bound bit-identical).
+    WarmHit,
+    /// Cached tuning decisions replayed with level bounds rebuilt from
+    /// this call's resolved absolute bound.
+    WarmRescaled,
+    /// Cache key matched but drift exceeded tolerance (or the key
+    /// changed): full tuning ran again.
+    Retuned,
+}
+
+impl PlanOutcome {
+    /// `true` when the expensive tuning stage was skipped.
+    pub fn is_warm(self) -> bool {
+        matches!(self, PlanOutcome::WarmHit | PlanOutcome::WarmRescaled)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CachedPlan {
+    shape: Shape,
+    scalar_tag: u8,
+    bound: ErrorBound,
+    plan: QozPlan,
+    /// Sampled mean absolute prediction error at tuning time — the
+    /// drift reference.
+    ref_pred_err: f64,
+}
+
+/// Caches the last tuned [`QozPlan`] for reuse across same-shape,
+/// same-bound calls.
+///
+/// One cache belongs to one logical compression stream (one variable of
+/// one simulation); it assumes the [`Qoz`] configuration it is used with
+/// does not change between calls.
+#[derive(Debug, Clone)]
+pub struct PlanCache {
+    tolerance: f64,
+    entry: Option<CachedPlan>,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_DRIFT_TOLERANCE)
+    }
+}
+
+impl PlanCache {
+    /// Create a cache with an explicit drift tolerance (relative
+    /// departure of the sampled prediction-error estimate, and of the
+    /// resolved absolute bound, that forces a retune).
+    ///
+    /// # Panics
+    /// Panics unless `tolerance` is finite and non-negative.
+    pub fn new(tolerance: f64) -> Self {
+        assert!(
+            tolerance.is_finite() && tolerance >= 0.0,
+            "drift tolerance must be finite and >= 0, got {tolerance}"
+        );
+        PlanCache {
+            tolerance,
+            entry: None,
+        }
+    }
+
+    /// The configured drift tolerance.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// The cached plan, if any (inspection/testing).
+    pub fn cached_plan(&self) -> Option<&QozPlan> {
+        self.entry.as_ref().map(|e| &e.plan)
+    }
+
+    /// Drop the cached plan; the next call tunes from scratch.
+    pub fn invalidate(&mut self) {
+        self.entry = None;
+    }
+}
+
+/// Sampled mean absolute prediction error of `data` under a fixed cheap
+/// probe spec — the drift statistic. Costs one engine pass over the
+/// standard sampled blocks (a fraction of a percent of the data), far
+/// below the many trial compressions of full tuning.
+fn sampled_pred_err<T: Scalar>(qoz: &Qoz, data: &NdArray<T>, abs_eb: f64) -> f64 {
+    let shape = data.shape();
+    let plan = SamplePlan::from_rate(
+        shape,
+        qoz.config.effective_sample_block(shape),
+        qoz.config.effective_sample_rate(shape),
+    );
+    let blocks = sample_blocks(data, &plan);
+    let mut scratch = qoz_codec::Scratch::new();
+    let mut sum = 0.0f64;
+    let mut count = 0u64;
+    for block in &blocks {
+        let spec = InterpSpec::anchored(PROBE_ANCHOR, abs_eb, Default::default());
+        let stats = compress_with_spec_into(block, &spec, &mut scratch);
+        sum += stats.sum_abs_pred_err;
+        count += stats.pred_count;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+impl Qoz {
+    /// [`Qoz::plan`] with caching: replay the cached tuning decisions
+    /// when the request matches the cache and the data has not drifted,
+    /// otherwise tune and refresh the cache. See the module docs for the
+    /// exact warm/rescale/retune semantics.
+    ///
+    /// Every returned plan derives its per-level error bounds from *this
+    /// call's* resolved absolute bound, so the hard error-bound
+    /// guarantee is identical to the uncached path.
+    pub fn plan_cached<T: Scalar>(
+        &self,
+        data: &NdArray<T>,
+        bound: ErrorBound,
+        cache: &mut PlanCache,
+    ) -> (QozPlan, PlanOutcome) {
+        let abs_eb = bound.absolute(data);
+        let pred_err = sampled_pred_err(self, data, abs_eb);
+
+        if let Some(e) = &cache.entry {
+            if e.shape == data.shape() && e.scalar_tag == T::TYPE_TAG && e.bound == bound {
+                let abs_drift = (abs_eb / e.plan.abs_eb - 1.0).abs();
+                // Guard the ratio against a near-zero reference (constant
+                // or perfectly predictable fields).
+                let denom = e.ref_pred_err.max(abs_eb * 1e-3);
+                let err_drift = (pred_err - e.ref_pred_err).abs() / denom;
+                if abs_drift <= cache.tolerance && err_drift <= cache.tolerance {
+                    let mut plan = e.plan.clone();
+                    if abs_eb.to_bits() == plan.abs_eb.to_bits() {
+                        return (plan, PlanOutcome::WarmHit);
+                    }
+                    plan.abs_eb = abs_eb;
+                    plan.spec.level_ebs =
+                        level_error_bounds(abs_eb, plan.alpha, plan.beta, plan.spec.max_level);
+                    return (plan, PlanOutcome::WarmRescaled);
+                }
+            }
+        }
+
+        let outcome = if cache.entry.is_some() {
+            PlanOutcome::Retuned
+        } else {
+            PlanOutcome::ColdTuned
+        };
+        let plan = self.plan(data, bound);
+        cache.entry = Some(CachedPlan {
+            shape: data.shape(),
+            scalar_tag: T::TYPE_TAG,
+            bound,
+            plan: plan.clone(),
+            ref_pred_err: pred_err,
+        });
+        (plan, outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoz_datagen::{Dataset, SizeClass};
+    use qoz_tensor::NdArray;
+
+    #[test]
+    fn identical_data_hits_warm_and_matches_cold_plan() {
+        let data = Dataset::Miranda.generate(SizeClass::Tiny, 0);
+        let qoz = Qoz::default();
+        let bound = ErrorBound::Rel(1e-3);
+        let mut cache = PlanCache::default();
+
+        let (p0, o0) = qoz.plan_cached(&data, bound, &mut cache);
+        assert_eq!(o0, PlanOutcome::ColdTuned);
+        let (p1, o1) = qoz.plan_cached(&data, bound, &mut cache);
+        assert_eq!(o1, PlanOutcome::WarmHit);
+
+        // The warm plan replays the cold one exactly, and both equal the
+        // uncached planner's output.
+        let fresh = qoz.plan(&data, bound);
+        for p in [&p0, &p1] {
+            assert_eq!(p.abs_eb, fresh.abs_eb);
+            assert_eq!((p.alpha, p.beta), (fresh.alpha, fresh.beta));
+            assert_eq!(p.spec.level_ebs, fresh.spec.level_ebs);
+            assert_eq!(p.spec.level_configs, fresh.spec.level_configs);
+            assert_eq!(p.spec.anchor_stride, fresh.spec.anchor_stride);
+        }
+    }
+
+    #[test]
+    fn shape_change_retunes() {
+        let a = Dataset::Miranda.generate(SizeClass::Tiny, 0);
+        let b = a.extract_region(&qoz_tensor::Region::new(
+            &[0; 3],
+            &[a.shape().dim(0) / 2, a.shape().dim(1), a.shape().dim(2)],
+        ));
+        let qoz = Qoz::default();
+        let bound = ErrorBound::Rel(1e-3);
+        let mut cache = PlanCache::default();
+        qoz.plan_cached(&a, bound, &mut cache);
+        let (_, o) = qoz.plan_cached(&b, bound, &mut cache);
+        assert_eq!(o, PlanOutcome::Retuned);
+        // And back: the cache now holds b's shape.
+        let (_, o) = qoz.plan_cached(&a, bound, &mut cache);
+        assert_eq!(o, PlanOutcome::Retuned);
+    }
+
+    #[test]
+    fn bound_change_retunes() {
+        let data = Dataset::CesmAtm.generate(SizeClass::Tiny, 0);
+        let qoz = Qoz::default();
+        let mut cache = PlanCache::default();
+        qoz.plan_cached(&data, ErrorBound::Rel(1e-3), &mut cache);
+        let (_, o) = qoz.plan_cached(&data, ErrorBound::Rel(1e-2), &mut cache);
+        assert_eq!(o, PlanOutcome::Retuned);
+    }
+
+    #[test]
+    fn drifted_data_retunes() {
+        let qoz = Qoz::default();
+        let bound = ErrorBound::Abs(1e-3);
+        let mut cache = PlanCache::new(0.1);
+        let smooth = Dataset::Miranda.generate(SizeClass::Tiny, 0);
+        qoz.plan_cached(&smooth, bound, &mut cache);
+        // Replace the field with same-shape white noise: prediction error
+        // explodes, so the drift check must force a retune.
+        let noisy = NdArray::from_fn(smooth.shape(), |i| {
+            let h = qoz_datagen::noise::splitmix64(
+                ((i[0] * 73_856_093) ^ (i[1] * 19_349_663) ^ (i[2] * 83_492_791)) as u64,
+            );
+            (h as f32 / u64::MAX as f32) * 8.0
+        });
+        let (_, o) = qoz.plan_cached(&noisy, bound, &mut cache);
+        assert_eq!(o, PlanOutcome::Retuned);
+    }
+
+    #[test]
+    fn small_range_drift_rescales_and_keeps_hard_bound() {
+        let base = Dataset::Hurricane.generate(SizeClass::Tiny, 0);
+        // A gently scaled snapshot: same structure, value range up 5%.
+        let scaled = NdArray::from_vec(
+            base.shape(),
+            base.as_slice().iter().map(|&v| v * 1.05).collect(),
+        );
+        let qoz = Qoz::default();
+        let bound = ErrorBound::Rel(1e-3);
+        let mut cache = PlanCache::default();
+        qoz.plan_cached(&base, bound, &mut cache);
+        let (plan, o) = qoz.plan_cached(&scaled, bound, &mut cache);
+        assert_eq!(o, PlanOutcome::WarmRescaled);
+        // The rescaled plan's bounds come from the *new* snapshot.
+        let abs = bound.absolute(&scaled);
+        assert_eq!(plan.abs_eb, abs);
+        assert_eq!(plan.spec.level_ebs[0], abs);
+        // And the compressed stream honors it.
+        let blob = qoz.compress_with_plan(&scaled, &plan);
+        let recon = qoz.decompress_typed::<f32>(&blob).unwrap();
+        assert!(scaled.max_abs_diff(&recon) <= abs * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn zero_tolerance_only_accepts_identical_data() {
+        let data = Dataset::Nyx.generate(SizeClass::Tiny, 0);
+        let qoz = Qoz::default();
+        let bound = ErrorBound::Rel(1e-3);
+        let mut cache = PlanCache::new(0.0);
+        qoz.plan_cached(&data, bound, &mut cache);
+        let (_, o) = qoz.plan_cached(&data, bound, &mut cache);
+        assert_eq!(o, PlanOutcome::WarmHit);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_tolerance_rejected() {
+        let _ = PlanCache::new(f64::NAN);
+    }
+
+    #[test]
+    fn invalidate_forces_cold() {
+        let data = Dataset::CesmAtm.generate(SizeClass::Tiny, 0);
+        let qoz = Qoz::default();
+        let bound = ErrorBound::Rel(1e-3);
+        let mut cache = PlanCache::default();
+        qoz.plan_cached(&data, bound, &mut cache);
+        assert!(cache.cached_plan().is_some());
+        cache.invalidate();
+        assert!(cache.cached_plan().is_none());
+        let (_, o) = qoz.plan_cached(&data, bound, &mut cache);
+        assert_eq!(o, PlanOutcome::ColdTuned);
+    }
+}

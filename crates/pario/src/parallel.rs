@@ -7,9 +7,15 @@
 //! serial-equals-parallel determinism invariant — is preserved by
 //! construction. Chunks are near-equal sized (see [`chunk_along_dim0`]),
 //! which keeps the static split balanced.
+//!
+//! Each worker owns one [`Scratch`] arena for its whole slab, so stage
+//! buffers (working copy, bins, side streams, entropy staging) are
+//! allocated once per worker rather than once per chunk — the archive
+//! writer's many-chunk variables ride this directly. Scratch never
+//! changes bytes, so the serial-equals-parallel invariant is untouched.
 
 use qoz_codec::stream::{Compressor, ErrorBound};
-use qoz_codec::Result;
+use qoz_codec::{Result, Scratch};
 use qoz_tensor::{NdArray, Region, Scalar, Shape};
 
 /// Split an array into `n` near-equal chunks along dimension 0 (the
@@ -58,8 +64,11 @@ where
     crossbeam::scope(|s| {
         for (out_slab, in_slab) in results.chunks_mut(per).zip(chunks.chunks(per)) {
             s.spawn(move |_| {
+                // One arena per worker: reused across every chunk of the
+                // slab, byte-identical to the scratchless path.
+                let mut scratch = Scratch::new();
                 for (out, chunk) in out_slab.iter_mut().zip(in_slab) {
-                    *out = compressor.compress(chunk, bound);
+                    *out = compressor.compress_with_scratch(chunk, bound, &mut scratch);
                 }
             });
         }

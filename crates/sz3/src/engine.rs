@@ -17,7 +17,8 @@
 //! online tuner needs — so trial compressions cost a single pass.
 
 use crate::spec::InterpSpec;
-use qoz_codec::{ByteReader, ByteWriter, CodecError, LinearQuantizer, Result};
+use qoz_codec::stream::{self, Header};
+use qoz_codec::{ByteReader, ByteWriter, CodecError, LinearQuantizer, Result, Scratch};
 use qoz_predict::{base_stride, for_each_base_point, traverse_level};
 use qoz_tensor::{NdArray, Scalar, Shape};
 
@@ -58,21 +59,71 @@ impl<T: Scalar> CompressOutput<T> {
     }
 }
 
+/// Per-pass statistics returned by the scratch-based engine entry point
+/// (the owned-buffer fields of [`CompressOutput`] live in the arena).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Sum of `|value - prediction|` over all interpolated points.
+    pub sum_abs_pred_err: f64,
+    /// Number of interpolated points.
+    pub pred_count: u64,
+}
+
+impl EngineStats {
+    /// Mean absolute prediction error (the selection criterion of
+    /// Algorithm 1).
+    pub fn mean_abs_pred_err(&self) -> f64 {
+        if self.pred_count == 0 {
+            0.0
+        } else {
+            self.sum_abs_pred_err / self.pred_count as f64
+        }
+    }
+}
+
 /// Compress `data` according to `spec`.
 pub fn compress_with_spec<T: Scalar>(data: &NdArray<T>, spec: &InterpSpec) -> CompressOutput<T> {
+    let mut s = Scratch::new();
+    let stats = compress_with_spec_into(data, spec, &mut s);
+    CompressOutput {
+        bins: s.bins,
+        unpred: s.unpred,
+        anchors: s.anchors,
+        recon: NdArray::from_vec(data.shape(), s.work),
+        sum_abs_pred_err: stats.sum_abs_pred_err,
+        pred_count: stats.pred_count,
+    }
+}
+
+/// Scratch-based core of [`compress_with_spec`]: stages the pass in a
+/// reusable arena instead of allocating fresh buffers.
+///
+/// On return, `scratch.bins`/`scratch.unpred`/`scratch.anchors` hold the
+/// three engine streams and `scratch.work` holds the
+/// decompressor-identical reconstruction. The contents are exactly those
+/// [`compress_with_spec`] would produce (it is a thin wrapper over this
+/// function); buffers re-grow safely when `data` is larger or shaped
+/// differently than the previous call.
+pub fn compress_with_spec_into<T: Scalar>(
+    data: &NdArray<T>,
+    spec: &InterpSpec,
+    scratch: &mut Scratch<T>,
+) -> EngineStats {
     let shape = data.shape();
-    let mut work = data.clone();
-    let mut bins: Vec<u32> = Vec::with_capacity(shape.len());
-    let mut unpred = ByteWriter::new();
-    let mut anchors = ByteWriter::new();
-    let mut sum_abs_pred_err = 0.0f64;
-    let mut pred_count = 0u64;
+    scratch.clear();
+    scratch.load_work(data.as_slice());
+    scratch.bins.reserve(shape.len());
+    let bins = &mut scratch.bins;
+    let mut unpred = ByteWriter::from_vec(std::mem::take(&mut scratch.unpred));
+    let mut anchors = ByteWriter::from_vec(std::mem::take(&mut scratch.anchors));
+    let mut stats = EngineStats::default();
 
     match spec.anchor_stride {
         Some(a) => {
             // Anchors are stored losslessly and left untouched in `work`.
+            let buf = &scratch.work[..];
             for_each_base_point(shape, a as usize, |off| {
-                anchors.put_bytes(&work.as_slice()[off].to_le_bytes_vec());
+                anchors.put_bytes(&buf[off].to_le_bytes_vec());
             });
         }
         None => {
@@ -80,7 +131,7 @@ pub fn compress_with_spec<T: Scalar>(data: &NdArray<T>, spec: &InterpSpec) -> Co
             // the tightest bound so no level's contract is violated.
             let q = LinearQuantizer::with_radius(spec.tightest_eb(), spec.quant_radius);
             let stride = base_stride(spec.max_level);
-            let buf = work.as_mut_slice();
+            let buf = &mut scratch.work[..];
             for_each_base_point(shape, stride, |off| {
                 let v = buf[off];
                 let qz = q.quantize(v, 0.0);
@@ -97,7 +148,7 @@ pub fn compress_with_spec<T: Scalar>(data: &NdArray<T>, spec: &InterpSpec) -> Co
         let q = LinearQuantizer::with_radius(spec.eb_of(level), spec.quant_radius);
         let cfg = spec.config_of(level);
         traverse_level(
-            work.as_mut_slice(),
+            &mut scratch.work[..],
             shape,
             level,
             cfg,
@@ -105,9 +156,9 @@ pub fn compress_with_spec<T: Scalar>(data: &NdArray<T>, spec: &InterpSpec) -> Co
                 let v = buf[off];
                 let err = v.to_f64() - pred;
                 if err.is_finite() {
-                    sum_abs_pred_err += err.abs();
+                    stats.sum_abs_pred_err += err.abs();
                 }
-                pred_count += 1;
+                stats.pred_count += 1;
                 let qz = q.quantize(v, pred);
                 if qz.code == 0 {
                     unpred.put_bytes(&v.to_le_bytes_vec());
@@ -118,14 +169,31 @@ pub fn compress_with_spec<T: Scalar>(data: &NdArray<T>, spec: &InterpSpec) -> Co
         );
     }
 
-    CompressOutput {
-        bins,
-        unpred: unpred.finish(),
-        anchors: anchors.finish(),
-        recon: work,
-        sum_abs_pred_err,
-        pred_count,
-    }
+    scratch.unpred = unpred.into_vec();
+    scratch.anchors = anchors.into_vec();
+    stats
+}
+
+/// Assemble a full self-describing stream from engine output staged in
+/// `scratch` (written there by [`compress_with_spec_into`]): common
+/// header, serialized spec, then the entropy-coded bins and the two
+/// packed side streams. Shared by the SZ3 and QoZ compressors so the
+/// framing exists exactly once.
+pub fn write_stream<T: Scalar>(
+    header: &Header,
+    spec: &InterpSpec,
+    scratch: &mut Scratch<T>,
+) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(scratch.bins.len() / 4 + 64);
+    stream::write_header(&mut w, header);
+    spec.write(&mut w);
+    qoz_codec::encode_bins_with(&scratch.bins, &mut scratch.entropy, &mut scratch.section);
+    w.put_len_prefixed(&scratch.section);
+    qoz_codec::lossless_compress_with(&scratch.unpred, &mut scratch.entropy, &mut scratch.section);
+    w.put_len_prefixed(&scratch.section);
+    qoz_codec::lossless_compress_with(&scratch.anchors, &mut scratch.entropy, &mut scratch.section);
+    w.put_len_prefixed(&scratch.section);
+    w.finish()
 }
 
 /// Mirror of [`compress_with_spec`]: rebuild the array from streams.

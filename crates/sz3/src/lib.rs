@@ -17,12 +17,14 @@ pub mod engine;
 pub mod select;
 pub mod spec;
 
-pub use engine::{compress_with_spec, decompress_with_spec, CompressOutput};
+pub use engine::{
+    compress_with_spec, compress_with_spec_into, decompress_with_spec, CompressOutput, EngineStats,
+};
 pub use select::select_global_interp;
 pub use spec::InterpSpec;
 
 use qoz_codec::stream::{self, Compressor, CompressorId, ErrorBound, Header};
-use qoz_codec::{ByteReader, ByteWriter, CodecError, Result};
+use qoz_codec::{ByteReader, CodecError, Result, Scratch};
 use qoz_tensor::{NdArray, Scalar};
 
 /// The SZ3 baseline compressor.
@@ -50,29 +52,34 @@ pub struct Sz3 {
 impl Sz3 {
     /// Compress with an explicit scalar type.
     pub fn compress_typed<T: Scalar>(&self, data: &NdArray<T>, bound: ErrorBound) -> Vec<u8> {
+        self.compress_typed_with(data, bound, &mut Scratch::new())
+    }
+
+    /// [`Sz3::compress_typed`] staging its buffers in a reusable arena;
+    /// bytes are identical.
+    pub fn compress_typed_with<T: Scalar>(
+        &self,
+        data: &NdArray<T>,
+        bound: ErrorBound,
+        scratch: &mut Scratch<T>,
+    ) -> Vec<u8> {
         let abs_eb = bound.absolute(data);
         let shape = data.shape();
         let cfg = self
             .fixed_interp
             .unwrap_or_else(|| select_global_interp(data, abs_eb));
         let spec = InterpSpec::sz3(shape, abs_eb, cfg);
-        let out = compress_with_spec(data, &spec);
-
-        let mut w = ByteWriter::with_capacity(data.len() / 4 + 64);
-        stream::write_header(
-            &mut w,
+        engine::compress_with_spec_into(data, &spec, scratch);
+        engine::write_stream(
             &Header {
                 compressor: CompressorId::Sz3,
                 scalar_tag: T::TYPE_TAG,
                 shape,
                 abs_eb,
             },
-        );
-        spec.write(&mut w);
-        w.put_len_prefixed(&qoz_codec::encode_bins(&out.bins));
-        w.put_len_prefixed(&qoz_codec::lossless_compress(&out.unpred));
-        w.put_len_prefixed(&qoz_codec::lossless_compress(&out.anchors));
-        w.finish()
+            &spec,
+            scratch,
+        )
     }
 
     /// Decompress with an explicit scalar type.
@@ -99,6 +106,14 @@ impl<T: Scalar> Compressor<T> for Sz3 {
     }
     fn compress(&self, data: &NdArray<T>, bound: ErrorBound) -> Vec<u8> {
         self.compress_typed(data, bound)
+    }
+    fn compress_with_scratch(
+        &self,
+        data: &NdArray<T>,
+        bound: ErrorBound,
+        scratch: &mut Scratch<T>,
+    ) -> Vec<u8> {
+        self.compress_typed_with(data, bound, scratch)
     }
     fn decompress(&self, blob: &[u8]) -> Result<NdArray<T>> {
         self.decompress_typed(blob)

@@ -72,3 +72,39 @@ fn qoz_streams_are_byte_identical_to_seed() {
         );
     }
 }
+
+/// The warm pipeline path (cached plan + reused scratch arena) must emit
+/// the same pinned bytes as the cold path: caching changes when work
+/// happens, never what is written. Both the cold (first) and warm
+/// (second) pipeline calls are checked against the golden constants of
+/// the allocating implementation above.
+#[test]
+fn warm_pipeline_streams_match_cold_golden() {
+    use qoz_suite::api::Session;
+
+    let expect: [(Dataset, f64, usize, u64); 2] = [
+        (Dataset::Miranda, 1e-3, 12809, 0xf09f5ff06c6c54f4),
+        (Dataset::CesmAtm, 1e-3, 6143, 0x1a46cc7eb06a1027),
+    ];
+    for (ds, eps, len, hash) in expect {
+        let data = ds.generate(SizeClass::Tiny, 0);
+        let session = Session::builder()
+            .bound(ErrorBound::Rel(eps))
+            .build()
+            .unwrap();
+        let mut pipe = session.pipeline::<f32>();
+        for (pass, label) in [(0, "cold"), (1, "warm")] {
+            let blob = pipe.compress(&data).unwrap().blob;
+            assert_eq!(
+                (blob.len(), fnv1a(&blob)),
+                (len, hash),
+                "{label} pipeline stream changed for {ds:?} eps={eps:e} (pass {pass})"
+            );
+        }
+        assert_eq!(
+            pipe.stats().warm_hits,
+            1,
+            "{ds:?}: second pass must be warm"
+        );
+    }
+}
