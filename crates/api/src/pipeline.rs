@@ -185,6 +185,41 @@ impl<T: Scalar> Pipeline<T> {
     pub fn decompress(&self, blob: &[u8]) -> Result<NdArray<T>> {
         self.session.decompress(blob)
     }
+
+    /// Decompress any workspace stream into a caller-provided array,
+    /// staging every stage buffer in the pipeline's scratch arena — the
+    /// read-path mirror of [`Pipeline::compress`]. The destination is
+    /// reshaped in place; with a warm arena and a previously-seen shape
+    /// the whole decode performs zero stage-buffer allocations
+    /// ([`Pipeline::decode_grow_events`] stays flat).
+    ///
+    /// Dispatch is header-driven: a stream from the pipeline's own
+    /// backend reuses the held engine, any other workspace stream is
+    /// decoded through the registry with the same arena.
+    pub fn decompress_into(&mut self, blob: &[u8], out: &mut NdArray<T>) -> Result<()> {
+        let header = crate::registry::peek_header(blob)?;
+        match &self.engine {
+            Engine::Qoz(inner) if header.compressor == BackendId::Qoz => inner
+                .0
+                .decompress_into_scratched(blob, &mut self.scratch, out)?,
+            Engine::Other(codec) if codec.id() == header.compressor => {
+                codec.decompress_into(blob, &mut self.scratch, out)?
+            }
+            _ => self
+                .session
+                .registry()
+                .decompress_into(blob, &mut self.scratch, out)?,
+        }
+        Ok(())
+    }
+
+    /// Decode-stage buffer growth events recorded against the pipeline's
+    /// arena so far (monotone; see `Scratch::decode_grow_events`).
+    /// Sample before and after a [`Pipeline::decompress_into`] call to
+    /// assert the warm path allocated nothing.
+    pub fn decode_grow_events(&self) -> u64 {
+        self.scratch.decode_grow_events()
+    }
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 
 use crate::{ApiError, BackendId};
 use qoz_codec::stream::read_header;
-use qoz_codec::{ByteReader, Compressor, Header};
+use qoz_codec::{ByteReader, Compressor, Header, Scratch};
 use qoz_metrics::QualityMetric;
 use qoz_tensor::{NdArray, Scalar};
 
@@ -104,6 +104,32 @@ impl BackendRegistry {
     pub fn decompress<T: Scalar>(&self, blob: &[u8]) -> qoz_codec::Result<NdArray<T>> {
         let header = peek_header(blob)?;
         self.codec::<T>(header.compressor).decompress(blob)
+    }
+
+    /// [`BackendRegistry::decompress`] staging its stage buffers in a
+    /// reusable arena; decoded values are identical.
+    pub fn decompress_with_scratch<T: Scalar>(
+        &self,
+        blob: &[u8],
+        scratch: &mut Scratch<T>,
+    ) -> qoz_codec::Result<NdArray<T>> {
+        let header = peek_header(blob)?;
+        self.codec::<T>(header.compressor)
+            .decompress_with_scratch(blob, scratch)
+    }
+
+    /// [`BackendRegistry::decompress`] into a caller-provided array,
+    /// reshaped in place — with a warm arena the zero-allocation decode
+    /// path, whatever backend produced the stream.
+    pub fn decompress_into<T: Scalar>(
+        &self,
+        blob: &[u8],
+        scratch: &mut Scratch<T>,
+        out: &mut NdArray<T>,
+    ) -> qoz_codec::Result<()> {
+        let header = peek_header(blob)?;
+        self.codec::<T>(header.compressor)
+            .decompress_into(blob, scratch, out)
     }
 
     /// Streaming counterpart of [`BackendRegistry::decompress`]: read a

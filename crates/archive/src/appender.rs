@@ -1,0 +1,333 @@
+//! Appending to existing QZAR archives.
+//!
+//! A QZAR index stores chunk offsets relative to the *payload* start,
+//! not the file start — which is exactly what makes append cheap: new
+//! variables' chunk blobs go behind the existing payload, every old
+//! offset stays valid verbatim, and only the superblock + TOC (a few
+//! hundred bytes) are rewritten. [`ArchiveAppender`] wraps an open
+//! [`ArchiveReader`] plus a staging [`ArchiveWriter`]; on write-out the
+//! old payload is streamed from the source in bounded pieces, so an
+//! append never materializes the existing archive in memory.
+//!
+//! Combined with the [`snapshot_name`] convention (`"{base}@t{t}"`,
+//! one ordinary variable per timestep sharing the single TOC), this
+//! turns a QZAR file into a growable time-series store: each simulation
+//! step appends its snapshot, and readers serve region queries over any
+//! timestep — including concurrently, through one shared reader handle.
+
+use crate::format::{fnv1a, snapshot_name, Toc, MAGIC, SUPERBLOCK_LEN, VERSION};
+use crate::reader::ArchiveReader;
+use crate::source::{ByteSource, FileSource, SliceSource};
+use crate::writer::ArchiveWriter;
+use crate::{ArchiveError, Result};
+use qoz_codec::stream::{Compressor, ErrorBound};
+use qoz_codec::ByteWriter;
+use qoz_tensor::{NdArray, Scalar};
+
+/// Streaming copy granularity for the existing payload during write-out.
+const COPY_CHUNK: usize = 1 << 20;
+
+/// Grows an existing archive: stage new variables, then write the
+/// rewritten container (old payload kept in place, byte-for-byte).
+#[derive(Debug)]
+pub struct ArchiveAppender<S: ByteSource> {
+    reader: ArchiveReader<S>,
+    writer: ArchiveWriter,
+}
+
+impl ArchiveAppender<FileSource> {
+    /// Open an archive file for appending.
+    pub fn open(path: &str) -> Result<Self> {
+        Ok(Self::new(ArchiveReader::open(path)?))
+    }
+}
+
+impl<'a> ArchiveAppender<SliceSource<'a>> {
+    /// Append to an archive already held in memory.
+    pub fn from_bytes(bytes: &'a [u8]) -> Result<Self> {
+        Ok(Self::new(ArchiveReader::from_bytes(bytes)?))
+    }
+}
+
+impl<S: ByteSource> ArchiveAppender<S> {
+    /// Wrap a parsed reader for appending.
+    pub fn new(reader: ArchiveReader<S>) -> Self {
+        ArchiveAppender {
+            reader,
+            writer: ArchiveWriter::new(),
+        }
+    }
+
+    /// Override the chunk grid side for *newly added* variables
+    /// (existing variables keep the side they were written with).
+    ///
+    /// # Panics
+    /// Panics if `side` is 0.
+    pub fn with_chunk_side(mut self, side: usize) -> Self {
+        self.writer = self.writer.with_chunk_side(side);
+        self
+    }
+
+    /// Override the number of compression worker threads.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.writer = self.writer.with_threads(threads);
+        self
+    }
+
+    /// The archive being appended to (TOC access, region reads of
+    /// already-stored variables).
+    pub fn existing(&self) -> &ArchiveReader<S> {
+        &self.reader
+    }
+
+    /// Variables staged by this appender so far (offsets still relative
+    /// to the *staged* payload; they are rebased on write-out).
+    pub fn staged(&self) -> &Toc {
+        self.writer.toc()
+    }
+
+    /// Compress `data` under `bound` and stage it as a new variable
+    /// named `name`. Rejects names already present in the existing
+    /// archive or staged in this appender.
+    pub fn add_variable<T, C>(
+        &mut self,
+        name: &str,
+        data: &NdArray<T>,
+        compressor: &C,
+        bound: ErrorBound,
+    ) -> Result<()>
+    where
+        T: Scalar,
+        C: Compressor<T> + Sync + ?Sized,
+    {
+        if self.reader.toc().vars.iter().any(|v| v.name == name) {
+            return Err(ArchiveError::DuplicateVariable(name.to_string()));
+        }
+        self.writer.add_variable(name, data, compressor, bound)
+    }
+
+    /// Stage `data` as timestep `t` of the time series `base` (the
+    /// variable is named [`snapshot_name`]`(base, t)`; list stored
+    /// steps back with [`Toc::snapshots`]).
+    pub fn add_snapshot<T, C>(
+        &mut self,
+        base: &str,
+        t: u64,
+        data: &NdArray<T>,
+        compressor: &C,
+        bound: ErrorBound,
+    ) -> Result<()>
+    where
+        T: Scalar,
+        C: Compressor<T> + Sync + ?Sized,
+    {
+        self.add_variable(&snapshot_name(base, t), data, compressor, bound)
+    }
+
+    /// The merged TOC the rewritten archive will carry: existing
+    /// variables verbatim, staged variables rebased behind them.
+    pub fn merged_toc(&self) -> Toc {
+        let base = self.reader.payload_len();
+        let mut toc = self.reader.toc().clone();
+        for v in &self.writer.toc().vars {
+            let mut v = v.clone();
+            for c in &mut v.chunks {
+                c.offset += base;
+            }
+            toc.vars.push(v);
+        }
+        toc
+    }
+
+    /// Serialize the grown archive into any byte sink: new superblock
+    /// and TOC, then the existing payload streamed from the source in
+    /// bounded pieces, then the staged payload. Returns bytes written.
+    pub fn write_into(&self, sink: &mut dyn std::io::Write) -> Result<u64> {
+        let io_err = |e: std::io::Error| ArchiveError::Io(format!("archive sink: {e}"));
+        let toc_bytes = self.merged_toc().encode();
+        let mut sb = ByteWriter::with_capacity(SUPERBLOCK_LEN);
+        sb.put_bytes(&MAGIC);
+        sb.put_u8(VERSION);
+        sb.put_u8(0); // flags, reserved
+        sb.put_u64(toc_bytes.len() as u64);
+        let sb = sb.finish();
+        sink.write_all(&sb).map_err(io_err)?;
+        sink.write_all(&toc_bytes).map_err(io_err)?;
+        sink.write_all(&fnv1a(&toc_bytes).to_le_bytes())
+            .map_err(io_err)?;
+        let old_len = self.reader.payload_len();
+        let mut off = 0u64;
+        while off < old_len {
+            let n = (old_len - off).min(COPY_CHUNK as u64) as usize;
+            let piece = self.reader.read_payload(off, n)?;
+            sink.write_all(&piece).map_err(io_err)?;
+            off += n as u64;
+        }
+        sink.write_all(self.writer.payload()).map_err(io_err)?;
+        Ok((sb.len() + toc_bytes.len() + 8) as u64 + old_len + self.writer.payload().len() as u64)
+    }
+
+    /// Serialize the grown archive into one in-memory buffer.
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_into(&mut out)
+            .expect("writing to a Vec cannot fail for slice-backed sources");
+        out
+    }
+
+    /// Stream the grown archive to `path` via a temp file + atomic
+    /// rename; returns bytes written. `path` may be the very archive
+    /// being appended to — the old payload is still being read from it
+    /// while the temp file is written, and the rename swaps the grown
+    /// archive in whole, so a crash mid-append never leaves a torn
+    /// container behind.
+    pub fn write_to(self, path: &str) -> Result<u64> {
+        let tmp = format!("{path}.{}.qztmp", std::process::id());
+        let io_err = |e: std::io::Error| ArchiveError::Io(format!("cannot write {path}: {e}"));
+        let written = (|| {
+            let file = std::fs::File::create(&tmp).map_err(io_err)?;
+            let mut sink = std::io::BufWriter::new(file);
+            let written = self.write_into(&mut sink)?;
+            std::io::Write::flush(&mut sink).map_err(io_err)?;
+            std::fs::rename(&tmp, path).map_err(io_err)?;
+            Ok(written)
+        })();
+        if written.is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+        written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoz_tensor::{Region, Shape};
+
+    fn field(seed: usize) -> NdArray<f32> {
+        NdArray::from_fn(Shape::d3(9, 8, 7), |i| {
+            ((i[0] + seed) as f32 * 0.3).sin() + (i[1] as f32 * 0.2).cos() * i[2] as f32 * 0.1
+        })
+    }
+
+    fn base_archive() -> Vec<u8> {
+        let mut w = ArchiveWriter::new().with_chunk_side(4);
+        w.add_variable(
+            "rho",
+            &field(0),
+            &qoz_sz3::Sz3::default(),
+            ErrorBound::Abs(1e-3),
+        )
+        .unwrap();
+        w.finish()
+    }
+
+    #[test]
+    fn append_preserves_old_payload_bytes() {
+        let base = base_archive();
+        let old = ArchiveReader::from_bytes(&base).unwrap();
+        let old_toc = old.toc().clone();
+
+        let mut app = ArchiveAppender::from_bytes(&base)
+            .unwrap()
+            .with_chunk_side(4);
+        app.add_variable(
+            "vel",
+            &field(3),
+            &qoz_sz3::Sz3::default(),
+            ErrorBound::Abs(1e-3),
+        )
+        .unwrap();
+        let grown = app.finish();
+
+        let r = ArchiveReader::from_bytes(&grown).unwrap();
+        // Old variable: identical index entries, identical decoded data.
+        assert_eq!(r.toc().vars[0], old_toc.vars[0]);
+        let a: NdArray<f32> = old.read_full("rho").unwrap();
+        let b: NdArray<f32> = r.read_full("rho").unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+        // New variable serves reads and verifies.
+        let v: NdArray<f32> = r.read_full("vel").unwrap();
+        assert!(field(3).max_abs_diff(&v) <= 1e-3 * (1.0 + 1e-9));
+        assert_eq!(r.verify().unwrap().vars, 2);
+    }
+
+    #[test]
+    fn append_rejects_existing_and_staged_duplicates() {
+        let base = base_archive();
+        let mut app = ArchiveAppender::from_bytes(&base).unwrap();
+        let c = qoz_sz3::Sz3::default();
+        assert!(matches!(
+            app.add_variable("rho", &field(1), &c, ErrorBound::Abs(1e-3)),
+            Err(ArchiveError::DuplicateVariable(_))
+        ));
+        app.add_variable("p", &field(1), &c, ErrorBound::Abs(1e-3))
+            .unwrap();
+        assert!(matches!(
+            app.add_variable("p", &field(2), &c, ErrorBound::Abs(1e-3)),
+            Err(ArchiveError::DuplicateVariable(_))
+        ));
+    }
+
+    #[test]
+    fn snapshots_accumulate_across_appends() {
+        let c = qoz_sz3::Sz3::default();
+        let mut w = ArchiveWriter::new().with_chunk_side(4);
+        w.add_variable(&snapshot_name("u", 0), &field(0), &c, ErrorBound::Abs(1e-3))
+            .unwrap();
+        let mut bytes = w.finish();
+        for t in 1..3u64 {
+            let mut app = ArchiveAppender::from_bytes(&bytes)
+                .unwrap()
+                .with_chunk_side(4);
+            app.add_snapshot("u", t, &field(t as usize), &c, ErrorBound::Abs(1e-3))
+                .unwrap();
+            bytes = app.finish();
+        }
+        let r = ArchiveReader::from_bytes(&bytes).unwrap();
+        let snaps = r.toc().snapshots("u");
+        assert_eq!(
+            snaps.iter().map(|&(t, _)| t).collect::<Vec<u64>>(),
+            vec![0, 1, 2]
+        );
+        for (t, meta) in snaps {
+            let got: NdArray<f32> = r.read_full(&meta.name).unwrap();
+            assert!(field(t as usize).max_abs_diff(&got) <= 1e-3 * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn append_to_file_in_place_is_atomic() {
+        let dir = std::env::temp_dir();
+        let path = dir
+            .join(format!("qoz_append_{}.qza", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        std::fs::write(&path, base_archive()).unwrap();
+
+        let mut app = ArchiveAppender::open(&path).unwrap().with_chunk_side(4);
+        app.add_variable(
+            "vel",
+            &field(5),
+            &qoz_sz3::Sz3::default(),
+            ErrorBound::Abs(1e-3),
+        )
+        .unwrap();
+        let written = app.write_to(&path).unwrap();
+        assert_eq!(
+            written,
+            std::fs::metadata(&path).unwrap().len(),
+            "reported size must match the file"
+        );
+
+        let r = ArchiveReader::open(&path).unwrap();
+        assert_eq!(r.toc().vars.len(), 2);
+        let roi = Region::new(&[2, 2, 2], &[4, 4, 4]);
+        let slab: NdArray<f32> = r.read_region("vel", &roi).unwrap();
+        assert_eq!(slab.as_slice(), {
+            let full: NdArray<f32> = r.read_full("vel").unwrap();
+            full.extract_region(&roi).into_vec()
+        });
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -109,6 +109,27 @@ impl VarMeta {
     }
 }
 
+/// Compose the variable name of `base` at timestep `t` in the
+/// multi-snapshot layout (`"{base}@t{t}"`).
+///
+/// A time series is stored as one ordinary variable per timestep, all
+/// sharing the archive's single TOC — no separate snapshot table, so
+/// every existing reader, region query and integrity check works on
+/// snapshot variables unchanged. [`Toc::snapshots`] lists them back.
+pub fn snapshot_name(base: &str, t: u64) -> String {
+    format!("{base}@t{t}")
+}
+
+/// Split a multi-snapshot variable name into `(base, timestep)`;
+/// `None` for names that are not of the `"{base}@t{t}"` form.
+pub fn parse_snapshot_name(name: &str) -> Option<(&str, u64)> {
+    let (base, t) = name.rsplit_once("@t")?;
+    if base.is_empty() || t.is_empty() || !t.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    Some((base, t.parse().ok()?))
+}
+
 /// Parsed table of contents.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Toc {
@@ -123,6 +144,21 @@ impl Toc {
             .iter()
             .find(|v| v.name == name)
             .ok_or_else(|| ArchiveError::UnknownVariable(name.to_string()))
+    }
+
+    /// The timesteps stored for `base` under the multi-snapshot naming
+    /// convention, sorted ascending by timestep.
+    pub fn snapshots(&self, base: &str) -> Vec<(u64, &VarMeta)> {
+        let mut out: Vec<(u64, &VarMeta)> = self
+            .vars
+            .iter()
+            .filter_map(|v| match parse_snapshot_name(&v.name) {
+                Some((b, t)) if b == base => Some((t, v)),
+                _ => None,
+            })
+            .collect();
+        out.sort_by_key(|&(t, _)| t);
+        out
     }
 
     /// Serialize the TOC body (without superblock or checksum).
@@ -379,6 +415,37 @@ mod tests {
             Toc::decode(&bytes, u64::MAX),
             Err(ArchiveError::Corrupt("implausible chunk count"))
         );
+    }
+
+    #[test]
+    fn snapshot_names_roundtrip() {
+        assert_eq!(snapshot_name("rho", 12), "rho@t12");
+        assert_eq!(parse_snapshot_name("rho@t12"), Some(("rho", 12)));
+        // Base names may themselves contain '@t': the *last* marker wins,
+        // so composed names always parse back to what composed them.
+        assert_eq!(parse_snapshot_name("a@t1@t2"), Some(("a@t1", 2)));
+        for bad in ["rho", "rho@t", "@t3", "rho@tx7", "rho@t-1", "rho@t+1"] {
+            assert_eq!(parse_snapshot_name(bad), None, "{bad}");
+        }
+    }
+
+    #[test]
+    fn toc_lists_snapshots_sorted() {
+        let mut toc = sample_toc();
+        let base = toc.vars[0].clone();
+        for (i, t) in [(0, 10u64), (1, 2), (2, 7)] {
+            let mut v = base.clone();
+            v.name = snapshot_name("temperature", t);
+            v.abs_eb = 1e-3 + i as f64;
+            toc.vars.push(v);
+        }
+        let snaps = toc.snapshots("temperature");
+        assert_eq!(
+            snaps.iter().map(|&(t, _)| t).collect::<Vec<u64>>(),
+            vec![2, 7, 10]
+        );
+        // The plain variable itself is not a snapshot.
+        assert_eq!(toc.snapshots("nope"), vec![]);
     }
 
     #[test]

@@ -15,7 +15,15 @@
 //! * [`ArchiveReader`] answers `read_region` queries by fetching and
 //!   decompressing only the chunks that intersect the request, stitches
 //!   them into the requested slab, and verifies every chunk checksum on
-//!   read;
+//!   read. Every read method takes `&self`, so one open reader serves
+//!   concurrent queries from many threads (pair with
+//!   [`ArchiveReader::read_region_with`] to give each thread its own
+//!   scratch arena);
+//! * [`ArchiveAppender`] grows an existing archive in place: new
+//!   variables — or new timesteps via the [`snapshot_name`]
+//!   multi-snapshot convention — land behind the existing payload,
+//!   which is kept byte-for-byte while only the superblock and TOC are
+//!   rewritten (atomically, via temp file + rename);
 //! * [`ByteSource`] abstracts the byte store (file or in-memory) and
 //!   counts bytes fetched, making the I/O saving of partial reads
 //!   observable.
@@ -35,7 +43,7 @@
 //!     .unwrap();
 //! let bytes = w.finish();
 //!
-//! let mut r = ArchiveReader::from_bytes(&bytes).unwrap();
+//! let r = ArchiveReader::from_bytes(&bytes).unwrap();
 //! let roi = Region::new(&[5, 5, 5], &[6, 6, 6]);
 //! let slab: NdArray<f32> = r.read_region("t", &roi).unwrap();
 //! assert_eq!(slab.shape().dims(), &[6, 6, 6]);
@@ -44,12 +52,16 @@
 //! assert!(r.bytes_read() < bytes.len() as u64);
 //! ```
 
+pub mod appender;
 pub mod format;
 pub mod reader;
 pub mod source;
 pub mod writer;
 
-pub use format::{fnv1a, ChunkEntry, Toc, VarMeta, MAGIC, VERSION};
+pub use appender::ArchiveAppender;
+pub use format::{
+    fnv1a, parse_snapshot_name, snapshot_name, ChunkEntry, Toc, VarMeta, MAGIC, VERSION,
+};
 pub use reader::{ArchiveReader, VerifyReport};
 pub use source::{ByteSource, FileSource, SliceSource};
 pub use writer::ArchiveWriter;

@@ -1,8 +1,16 @@
 //! Reading QZAR archives: full variables, region queries, verification.
+//!
+//! All read methods take `&self`: an [`ArchiveReader`] over a `Sync`
+//! [`ByteSource`] is itself shareable, so many threads can serve
+//! region queries from **one** open archive handle concurrently — each
+//! caller brings its own [`Scratch`] arena via
+//! [`ArchiveReader::read_region_with`], or uses the internally-parallel
+//! [`ArchiveReader::read_region`].
 
 use crate::format::{fnv1a, Toc, VarMeta, MAGIC, SUPERBLOCK_LEN, VERSION};
 use crate::source::{ByteSource, FileSource, SliceSource};
 use crate::{ArchiveError, Result};
+use qoz_codec::Scratch;
 use qoz_tensor::{NdArray, Region, Scalar, Shape};
 
 /// Summary returned by [`ArchiveReader::verify`].
@@ -45,7 +53,7 @@ impl<'a> ArchiveReader<SliceSource<'a>> {
 
 impl<S: ByteSource> ArchiveReader<S> {
     /// Parse the superblock and TOC from any byte source.
-    pub fn new(mut src: S) -> Result<Self> {
+    pub fn new(src: S) -> Result<Self> {
         let sb = src.read_at(0, SUPERBLOCK_LEN)?;
         if sb[..4] != MAGIC {
             return Err(ArchiveError::BadMagic);
@@ -103,8 +111,20 @@ impl<S: ByteSource> ArchiveReader<S> {
         self.src.bytes_read()
     }
 
+    /// Total payload bytes (chunk blobs) stored behind the TOC.
+    pub fn payload_len(&self) -> u64 {
+        self.src.len() - self.payload_start
+    }
+
+    /// Fetch `len` raw payload bytes at payload-relative `offset`
+    /// (no checksum verification — the appender streams old payload
+    /// through this; chunk-granular reads go through `fetch_chunk`).
+    pub(crate) fn read_payload(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        self.src.read_at(self.payload_start + offset, len)
+    }
+
     /// Fetch chunk `k` of `var` and verify its checksum.
-    fn fetch_chunk(&mut self, var_idx: usize, k: usize) -> Result<Vec<u8>> {
+    fn fetch_chunk(&self, var_idx: usize, k: usize) -> Result<Vec<u8>> {
         let entry = self.toc.vars[var_idx].chunks[k];
         let blob = self
             .src
@@ -145,7 +165,53 @@ impl<S: ByteSource> ArchiveReader<S> {
     /// same way bulk dumps do. The result is a dense array of the
     /// region's size, bitwise equal to slicing the same region out of a
     /// full decompress.
-    pub fn read_region<T: Scalar>(&mut self, name: &str, region: &Region) -> Result<NdArray<T>> {
+    pub fn read_region<T: Scalar>(&self, name: &str, region: &Region) -> Result<NdArray<T>> {
+        let (var_idx, grid, hits) = self.plan_region::<T>(name, region)?;
+        let mut blobs = Vec::with_capacity(hits.len());
+        for &(k, _) in &hits {
+            blobs.push(self.fetch_chunk(var_idx, k)?);
+        }
+        let codec = qoz_api::BackendRegistry::new().codec::<T>(self.toc.vars[var_idx].compressor);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let chunks = qoz_pario::decompress_chunks(&*codec, &blobs, threads)?;
+        stitch(region, &grid, &hits, &chunks)
+    }
+
+    /// [`ArchiveReader::read_region`] decoding serially with the
+    /// caller's scratch arena instead of spawning workers.
+    ///
+    /// This is the many-concurrent-readers shape: when the parallelism
+    /// lives *outside* — N threads each querying their own region of one
+    /// shared reader — per-query worker pools only oversubscribe the
+    /// machine. Each thread keeps one arena and calls this; chunk
+    /// streams decode one at a time through it, values bitwise equal to
+    /// [`ArchiveReader::read_region`].
+    pub fn read_region_with<T: Scalar>(
+        &self,
+        name: &str,
+        region: &Region,
+        scratch: &mut Scratch<T>,
+    ) -> Result<NdArray<T>> {
+        let (var_idx, grid, hits) = self.plan_region::<T>(name, region)?;
+        let codec = qoz_api::BackendRegistry::new().codec::<T>(self.toc.vars[var_idx].compressor);
+        let mut chunks = Vec::with_capacity(hits.len());
+        for &(k, _) in &hits {
+            let blob = self.fetch_chunk(var_idx, k)?;
+            chunks.push(codec.decompress_with_scratch(&blob, scratch)?);
+        }
+        stitch(region, &grid, &hits, &chunks)
+    }
+
+    /// Bounds-check a query and map it onto the chunk grid: the variable
+    /// index, the grid, and the `(chunk, overlap)` pairs it intersects.
+    #[allow(clippy::type_complexity)]
+    fn plan_region<T: Scalar>(
+        &self,
+        name: &str,
+        region: &Region,
+    ) -> Result<(usize, Vec<Region>, Vec<(usize, Region)>)> {
         let var_idx = self.var_index::<T>(name)?;
         let shape = self.toc.vars[var_idx].shape;
         // Checked addition: a wrapped `origin + size` must not slip past
@@ -165,47 +231,13 @@ impl<S: ByteSource> ArchiveReader<S> {
             .enumerate()
             .filter_map(|(k, cr)| cr.intersect(region).map(|overlap| (k, overlap)))
             .collect();
-        let mut blobs = Vec::with_capacity(hits.len());
-        for &(k, _) in &hits {
-            blobs.push(self.fetch_chunk(var_idx, k)?);
-        }
-        let codec = qoz_api::BackendRegistry::new().codec::<T>(self.toc.vars[var_idx].compressor);
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        let chunks = qoz_pario::decompress_chunks(&*codec, &blobs, threads)?;
-
-        let nd = shape.ndim();
-        let mut out = NdArray::<T>::zeros(Shape::new(region.size()));
-        for (&(k, ref overlap), chunk) in hits.iter().zip(&chunks) {
-            let chunk_region = &grid[k];
-            if chunk.shape().dims() != chunk_region.size() {
-                return Err(ArchiveError::Corrupt("chunk stream disagrees with index"));
-            }
-            // Overlap in chunk-local, then region-local coordinates.
-            let mut local_o = [0usize; qoz_tensor::MAX_NDIM];
-            let mut dest_o = [0usize; qoz_tensor::MAX_NDIM];
-            for d in 0..nd {
-                local_o[d] = overlap.origin()[d] - chunk_region.origin()[d];
-                dest_o[d] = overlap.origin()[d] - region.origin()[d];
-            }
-            let dest = Region::new(&dest_o[..nd], overlap.size());
-            if overlap.size() == chunk_region.size() {
-                // Fully-covered chunk (the read_full case): insert
-                // directly, no intermediate copy.
-                out.insert_region(&dest, chunk);
-            } else {
-                let piece = chunk.extract_region(&Region::new(&local_o[..nd], overlap.size()));
-                out.insert_region(&dest, &piece);
-            }
-        }
-        Ok(out)
+        Ok((var_idx, grid, hits))
     }
 
     /// Decompress a whole variable (a [`ArchiveReader::read_region`]
     /// over the full shape — every chunk is fully covered, so each
     /// decodes in parallel and lands in the output without copies).
-    pub fn read_full<T: Scalar>(&mut self, name: &str) -> Result<NdArray<T>> {
+    pub fn read_full<T: Scalar>(&self, name: &str) -> Result<NdArray<T>> {
         let var_idx = self.var_index::<T>(name)?;
         let shape = self.toc.vars[var_idx].shape;
         self.read_region(name, &Region::full(shape))
@@ -214,7 +246,7 @@ impl<S: ByteSource> ArchiveReader<S> {
     /// Integrity fast path: fetch every chunk and check its checksum
     /// (and the TOC's, already checked at open) **without** spending any
     /// time decompressing.
-    pub fn verify(&mut self) -> Result<VerifyReport> {
+    pub fn verify(&self) -> Result<VerifyReport> {
         let mut report = VerifyReport {
             vars: self.toc.vars.len(),
             chunks: 0,
@@ -229,6 +261,40 @@ impl<S: ByteSource> ArchiveReader<S> {
         }
         Ok(report)
     }
+}
+
+/// Stitch decoded chunks into a dense array of the region's size.
+fn stitch<T: Scalar>(
+    region: &Region,
+    grid: &[Region],
+    hits: &[(usize, Region)],
+    chunks: &[NdArray<T>],
+) -> Result<NdArray<T>> {
+    let nd = region.ndim();
+    let mut out = NdArray::<T>::zeros(Shape::new(region.size()));
+    for (&(k, ref overlap), chunk) in hits.iter().zip(chunks) {
+        let chunk_region = &grid[k];
+        if chunk.shape().dims() != chunk_region.size() {
+            return Err(ArchiveError::Corrupt("chunk stream disagrees with index"));
+        }
+        // Overlap in chunk-local, then region-local coordinates.
+        let mut local_o = [0usize; qoz_tensor::MAX_NDIM];
+        let mut dest_o = [0usize; qoz_tensor::MAX_NDIM];
+        for d in 0..nd {
+            local_o[d] = overlap.origin()[d] - chunk_region.origin()[d];
+            dest_o[d] = overlap.origin()[d] - region.origin()[d];
+        }
+        let dest = Region::new(&dest_o[..nd], overlap.size());
+        if overlap.size() == chunk_region.size() {
+            // Fully-covered chunk (the read_full case): insert
+            // directly, no intermediate copy.
+            out.insert_region(&dest, chunk);
+        } else {
+            let piece = chunk.extract_region(&Region::new(&local_o[..nd], overlap.size()));
+            out.insert_region(&dest, &piece);
+        }
+    }
+    Ok(out)
 }
 
 /// Convenience: list `(name, meta)` summaries of an archive's variables.
@@ -285,7 +351,7 @@ mod tests {
     #[test]
     fn full_read_honors_bound() {
         let bytes = archive();
-        let mut r = ArchiveReader::from_bytes(&bytes).unwrap();
+        let r = ArchiveReader::from_bytes(&bytes).unwrap();
         let full: NdArray<f32> = r.read_full("rho").unwrap();
         assert!(field().max_abs_diff(&full) <= 1e-3 * (1.0 + 1e-9));
     }
@@ -293,7 +359,7 @@ mod tests {
     #[test]
     fn region_read_equals_full_slice() {
         let bytes = archive();
-        let mut r = ArchiveReader::from_bytes(&bytes).unwrap();
+        let r = ArchiveReader::from_bytes(&bytes).unwrap();
         let full: NdArray<f32> = r.read_full("rho").unwrap();
         for region in [
             Region::new(&[0, 0, 0], &[1, 1, 1]),
@@ -313,7 +379,7 @@ mod tests {
     #[test]
     fn region_read_touches_fewer_bytes() {
         let bytes = archive();
-        let mut r = ArchiveReader::from_bytes(&bytes).unwrap();
+        let r = ArchiveReader::from_bytes(&bytes).unwrap();
         let header_cost = r.bytes_read();
         let _: NdArray<f32> = r
             .read_region("rho", &Region::new(&[0, 0, 0], &[2, 2, 2]))
@@ -331,7 +397,7 @@ mod tests {
     #[test]
     fn wrong_name_type_and_region_reported() {
         let bytes = archive();
-        let mut r = ArchiveReader::from_bytes(&bytes).unwrap();
+        let r = ArchiveReader::from_bytes(&bytes).unwrap();
         assert!(matches!(
             r.read_full::<f32>("nope"),
             Err(ArchiveError::UnknownVariable(_))
@@ -359,7 +425,7 @@ mod tests {
     #[test]
     fn verify_checks_every_chunk() {
         let bytes = archive();
-        let mut r = ArchiveReader::from_bytes(&bytes).unwrap();
+        let r = ArchiveReader::from_bytes(&bytes).unwrap();
         let report = r.verify().unwrap();
         assert_eq!(report.vars, 1);
         assert_eq!(report.chunks, 4 * 3 * 3);
@@ -371,7 +437,7 @@ mod tests {
         let mut bytes = archive();
         let n = bytes.len();
         bytes[n - 10] ^= 0xFF; // inside the last chunk's blob
-        let mut r = ArchiveReader::from_bytes(&bytes).unwrap();
+        let r = ArchiveReader::from_bytes(&bytes).unwrap();
         assert!(matches!(
             r.verify(),
             Err(ArchiveError::ChecksumMismatch { .. })

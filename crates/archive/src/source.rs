@@ -5,11 +5,21 @@
 //! Every implementation counts the bytes it actually fetched, which is
 //! how the random-access tests and the `repro` bench axis measure the
 //! I/O saving of region queries.
+//!
+//! Reads take `&self`: one open source serves any number of concurrent
+//! readers without locking the data path (files use the OS's positioned
+//! read, slices are naturally shared), so region queries from many
+//! threads can share a single [`ArchiveReader`](crate::ArchiveReader)
+//! handle. Byte accounting is atomic for the same reason.
 
 use crate::{ArchiveError, Result};
-use std::io::{Read, Seek, SeekFrom};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A positioned, counted byte source.
+///
+/// Implementations must support concurrent positioned reads through a
+/// shared reference; the byte counter is advisory (relaxed ordering)
+/// and only counts successful reads.
 pub trait ByteSource {
     /// Total length of the underlying archive in bytes.
     fn len(&self) -> u64;
@@ -23,7 +33,7 @@ pub trait ByteSource {
     ///
     /// Errors with [`ArchiveError::Truncated`] when the range extends
     /// past the end of the source.
-    fn read_at(&mut self, offset: u64, len: usize) -> Result<Vec<u8>>;
+    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>>;
 
     /// Total bytes fetched through [`ByteSource::read_at`] so far.
     fn bytes_read(&self) -> u64;
@@ -33,13 +43,16 @@ pub trait ByteSource {
 #[derive(Debug)]
 pub struct SliceSource<'a> {
     buf: &'a [u8],
-    read: u64,
+    read: AtomicU64,
 }
 
 impl<'a> SliceSource<'a> {
     /// Wrap a byte slice.
     pub fn new(buf: &'a [u8]) -> Self {
-        SliceSource { buf, read: 0 }
+        SliceSource {
+            buf,
+            read: AtomicU64::new(0),
+        }
     }
 }
 
@@ -48,28 +61,35 @@ impl ByteSource for SliceSource<'_> {
         self.buf.len() as u64
     }
 
-    fn read_at(&mut self, offset: u64, len: usize) -> Result<Vec<u8>> {
+    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
         let end = offset
             .checked_add(len as u64)
             .ok_or(ArchiveError::Truncated)?;
         if end > self.buf.len() as u64 {
             return Err(ArchiveError::Truncated);
         }
-        self.read += len as u64;
+        self.read.fetch_add(len as u64, Ordering::Relaxed);
         Ok(self.buf[offset as usize..end as usize].to_vec())
     }
 
     fn bytes_read(&self) -> u64 {
-        self.read
+        self.read.load(Ordering::Relaxed)
     }
 }
 
-/// Seek-and-read source over an open file.
+/// Positioned-read source over an open file.
+///
+/// On Unix every read is one `pread`-style call, so concurrent readers
+/// never contend on a shared cursor; elsewhere a mutex serializes a
+/// seek-and-read fallback (correct, just not parallel).
 #[derive(Debug)]
 pub struct FileSource {
+    #[cfg(unix)]
     file: std::fs::File,
+    #[cfg(not(unix))]
+    file: std::sync::Mutex<std::fs::File>,
     len: u64,
-    read: u64,
+    read: AtomicU64,
 }
 
 impl FileSource {
@@ -81,7 +101,32 @@ impl FileSource {
             .metadata()
             .map_err(|e| ArchiveError::Io(format!("cannot stat {path}: {e}")))?
             .len();
-        Ok(FileSource { file, len, read: 0 })
+        Ok(FileSource {
+            #[cfg(unix)]
+            file,
+            #[cfg(not(unix))]
+            file: std::sync::Mutex::new(file),
+            len,
+            read: AtomicU64::new(0),
+        })
+    }
+
+    #[cfg(unix)]
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file
+            .read_exact_at(buf, offset)
+            .map_err(|e| ArchiveError::Io(format!("read failed: {e}")))
+    }
+
+    #[cfg(not(unix))]
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> Result<()> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = self.file.lock().expect("file source lock poisoned");
+        file.seek(SeekFrom::Start(offset))
+            .map_err(|e| ArchiveError::Io(format!("seek failed: {e}")))?;
+        file.read_exact(buf)
+            .map_err(|e| ArchiveError::Io(format!("read failed: {e}")))
     }
 }
 
@@ -90,26 +135,21 @@ impl ByteSource for FileSource {
         self.len
     }
 
-    fn read_at(&mut self, offset: u64, len: usize) -> Result<Vec<u8>> {
+    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
         let end = offset
             .checked_add(len as u64)
             .ok_or(ArchiveError::Truncated)?;
         if end > self.len {
             return Err(ArchiveError::Truncated);
         }
-        self.file
-            .seek(SeekFrom::Start(offset))
-            .map_err(|e| ArchiveError::Io(format!("seek failed: {e}")))?;
         let mut buf = vec![0u8; len];
-        self.file
-            .read_exact(&mut buf)
-            .map_err(|e| ArchiveError::Io(format!("read failed: {e}")))?;
-        self.read += len as u64;
+        self.read_exact_at(&mut buf, offset)?;
+        self.read.fetch_add(len as u64, Ordering::Relaxed);
         Ok(buf)
     }
 
     fn bytes_read(&self) -> u64 {
-        self.read
+        self.read.load(Ordering::Relaxed)
     }
 }
 
@@ -120,7 +160,7 @@ mod tests {
     #[test]
     fn slice_source_reads_and_counts() {
         let data: Vec<u8> = (0..=99).collect();
-        let mut s = SliceSource::new(&data);
+        let s = SliceSource::new(&data);
         assert_eq!(s.len(), 100);
         assert_eq!(s.read_at(10, 5).unwrap(), &[10, 11, 12, 13, 14]);
         assert_eq!(s.bytes_read(), 5);
@@ -142,7 +182,7 @@ mod tests {
             .to_string_lossy()
             .into_owned();
         std::fs::write(&path, [5u8, 6, 7, 8]).unwrap();
-        let mut s = FileSource::open(&path).unwrap();
+        let s = FileSource::open(&path).unwrap();
         assert_eq!(s.len(), 4);
         assert_eq!(s.read_at(1, 2).unwrap(), &[6, 7]);
         assert_eq!(s.bytes_read(), 2);
@@ -153,5 +193,25 @@ mod tests {
     #[test]
     fn missing_file_errors() {
         assert!(FileSource::open("/nonexistent/qoz.qza").is_err());
+    }
+
+    #[test]
+    fn concurrent_positioned_reads_agree() {
+        let data: Vec<u8> = (0u32..4096).map(|i| (i % 251) as u8).collect();
+        let src = SliceSource::new(&data);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let src = &src;
+                let data = &data;
+                s.spawn(move || {
+                    for k in 0..64 {
+                        let off = (t * 64 + k) * 16 % (data.len() - 16);
+                        let got = src.read_at(off as u64, 16).unwrap();
+                        assert_eq!(got, &data[off..off + 16]);
+                    }
+                });
+            }
+        });
+        assert_eq!(src.bytes_read(), 4 * 64 * 16);
     }
 }

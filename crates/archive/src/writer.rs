@@ -69,6 +69,12 @@ impl ArchiveWriter {
         &self.toc
     }
 
+    /// The staged payload (chunk blobs, back to back) — the appender
+    /// splices this behind an existing archive's payload.
+    pub(crate) fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
     /// Compress `data` under `bound` with `compressor` and add it as a
     /// variable named `name`.
     pub fn add_variable<T, C>(

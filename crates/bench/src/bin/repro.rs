@@ -183,19 +183,22 @@ fn bench_throughput(o: &Opts) {
     }
     let random_access = bench_random_access(o);
     let timeseries = bench_timeseries(o);
+    let decompress = bench_decompress(o);
     let json = format!(
         concat!(
-            "{{\n  \"schema\": \"qoz-suite/bench-throughput/v3\",\n",
+            "{{\n  \"schema\": \"qoz-suite/bench-throughput/v4\",\n",
             "  \"size_class\": \"{:?}\",\n",
             "  \"unit\": \"MB/s of raw f32 data\",\n",
             "  \"entries\": [\n{}\n  ],\n",
             "  \"random_access\": [\n{}\n  ],\n",
-            "  \"timeseries\": [\n{}\n  ]\n}}\n"
+            "  \"timeseries\": [\n{}\n  ],\n",
+            "  \"decompress\": [\n{}\n  ]\n}}\n"
         ),
         o.size,
         entries.join(",\n"),
         random_access.join(",\n"),
-        timeseries.join(",\n")
+        timeseries.join(",\n"),
+        decompress.join(",\n")
     );
     if let Some(dir) = std::path::Path::new(&path).parent() {
         std::fs::create_dir_all(dir).unwrap();
@@ -236,13 +239,13 @@ fn bench_random_access(o: &Opts) -> Vec<String> {
             .unwrap();
         let bytes = w.finish();
 
-        let mut r = ArchiveReader::from_bytes(&bytes).unwrap();
+        let r = ArchiveReader::from_bytes(&bytes).unwrap();
         let t0 = std::time::Instant::now();
         let slab = r.read_region::<f32>("v", &region).unwrap();
         let t_region = t0.elapsed().as_secs_f64();
         let read = r.bytes_read();
 
-        let mut rf = ArchiveReader::from_bytes(&bytes).unwrap();
+        let rf = ArchiveReader::from_bytes(&bytes).unwrap();
         let t0 = std::time::Instant::now();
         let full = rf.read_full::<f32>("v").unwrap();
         let t_full = t0.elapsed().as_secs_f64();
@@ -403,6 +406,106 @@ fn bench_timeseries(o: &Opts) -> Vec<String> {
             stats.warm_rescales,
             stats.retunes,
             bytes_equal
+        ));
+    }
+    rows
+}
+
+/// The decompress axis of the `bench` baseline: repeated decodes of one
+/// stream per backend, cold (a fresh allocating `Session::decompress`
+/// per pass) versus warm (one `Pipeline::decompress_into` reusing the
+/// scratch arena and the destination array). Asserts value identity
+/// between the two paths and that warm passes allocate no stage
+/// buffers, then reports both rates.
+fn bench_decompress(o: &Opts) -> Vec<String> {
+    use qoz_api::BackendId;
+
+    const PASSES: usize = 8;
+    let data = Dataset::Miranda.generate(o.size, 0);
+    let eps = 1e-3;
+    let raw_mb = (data.len() * 4) as f64 / 1e6;
+
+    println!("\n--- decompress: cold allocating vs warm scratch-arena decode (Miranda) ---");
+    println!(
+        "{:<8} {:>10} {:>10} {:>8} {:>10}",
+        "codec", "cold MB/s", "warm MB/s", "speedup", "warm grows"
+    );
+
+    let mut rows = Vec::new();
+    for id in [
+        BackendId::Qoz,
+        BackendId::Sz3,
+        BackendId::Sz2,
+        BackendId::Zfp,
+        BackendId::Mgard,
+    ] {
+        let session = Session::builder()
+            .backend(id)
+            .bound(ErrorBound::Rel(eps))
+            .build()
+            .expect("bound is valid");
+        let blob = session.compress(&data).expect("compress").blob;
+
+        // Cold: every pass allocates its output and stage buffers anew.
+        let t0 = std::time::Instant::now();
+        let mut cold_out: NdArray<f32> = session.decompress(&blob).expect("cold decode");
+        for _ in 1..PASSES {
+            cold_out = session.decompress(&blob).expect("cold decode");
+        }
+        let t_cold = t0.elapsed().as_secs_f64();
+
+        // Warm: one pipeline, one destination; the first pass grows the
+        // arena, the timed steady-state passes must not.
+        let mut pipe = session.pipeline::<f32>();
+        let mut warm_out = NdArray::<f32>::zeros(qoz_tensor::Shape::d1(1));
+        pipe.decompress_into(&blob, &mut warm_out)
+            .expect("warm decode");
+        let grows_before = pipe.decode_grow_events();
+        let t0 = std::time::Instant::now();
+        for _ in 0..PASSES {
+            pipe.decompress_into(&blob, &mut warm_out)
+                .expect("warm decode");
+        }
+        let t_warm = t0.elapsed().as_secs_f64();
+        let warm_grows = pipe.decode_grow_events() - grows_before;
+        assert_eq!(
+            cold_out.as_slice(),
+            warm_out.as_slice(),
+            "{}: scratch decode diverged from allocating decode",
+            id.name()
+        );
+        assert_eq!(
+            warm_grows,
+            0,
+            "{}: warm decode passes allocated stage buffers",
+            id.name()
+        );
+
+        let cold_mbps = raw_mb * PASSES as f64 / t_cold.max(1e-12);
+        let warm_mbps = raw_mb * PASSES as f64 / t_warm.max(1e-12);
+        println!(
+            "{:<8} {:>10.1} {:>10.1} {:>7.2}x {:>10}",
+            id.name(),
+            cold_mbps,
+            warm_mbps,
+            warm_mbps / cold_mbps.max(1e-12),
+            warm_grows
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"backend\": \"{}\", \"dataset\": \"{}\", ",
+                "\"points\": {}, \"eps_rel\": {:e}, \"passes\": {}, ",
+                "\"decomp_cold_mbps\": {:.3}, \"decomp_warm_mbps\": {:.3}, ",
+                "\"warm_grow_events\": {}}}"
+            ),
+            id.name(),
+            Dataset::Miranda.name(),
+            data.len(),
+            eps,
+            PASSES,
+            cold_mbps,
+            warm_mbps,
+            warm_grows
         ));
     }
     rows

@@ -197,12 +197,14 @@ pub fn run(cmd: Command) -> Result<Vec<String>, CliError> {
             let blob = rawio::read_bytes(&input)?;
             let header = qoz_api::peek_header(&blob)?;
             let registry = qoz_api::BackendRegistry::new();
+            // Temp-file + rename, like compress: a decode that dies
+            // mid-write must never leave a truncated output behind.
             if header.scalar_tag == f64::TYPE_TAG {
                 let data: NdArray<f64> = registry.decompress(&blob)?;
-                rawio::write_raw(&output, &data)?;
+                write_atomically(&output, |sink| rawio::write_raw_into(sink, &data))?;
             } else {
                 let data: NdArray<f32> = registry.decompress(&blob)?;
-                rawio::write_raw(&output, &data)?;
+                write_atomically(&output, |sink| rawio::write_raw_into(sink, &data))?;
             }
             Ok(vec![format!("{input} -> {output}")])
         }
@@ -248,7 +250,7 @@ pub fn run(cmd: Command) -> Result<Vec<String>, CliError> {
             origin,
             size,
         } => {
-            let mut r = ArchiveReader::open(&input)?;
+            let r = ArchiveReader::open(&input)?;
             let name = match var {
                 Some(v) => v,
                 None => {
@@ -272,10 +274,10 @@ pub fn run(cmd: Command) -> Result<Vec<String>, CliError> {
             };
             if meta.scalar_tag == f64::TYPE_TAG {
                 let data: NdArray<f64> = r.read_region(&name, &region)?;
-                rawio::write_raw(&output, &data)?;
+                write_atomically(&output, |sink| rawio::write_raw_into(sink, &data))?;
             } else {
                 let data: NdArray<f32> = r.read_region(&name, &region)?;
-                rawio::write_raw(&output, &data)?;
+                write_atomically(&output, |sink| rawio::write_raw_into(sink, &data))?;
             }
             Ok(vec![format!(
                 "{input}[{name}] {:?}+{:?} -> {output} ({} of {} archive bytes read)",
@@ -286,7 +288,7 @@ pub fn run(cmd: Command) -> Result<Vec<String>, CliError> {
             )])
         }
         Command::Inspect { input, verify } => {
-            let mut r = ArchiveReader::open(&input)?;
+            let r = ArchiveReader::open(&input)?;
             let mut out = vec![
                 format!("archive       : {input}"),
                 format!("size          : {} bytes", r.archive_len()),

@@ -27,11 +27,17 @@ pub fn read_raw<T: Scalar>(path: &str, shape: Shape) -> Result<NdArray<T>, CliEr
 pub fn write_raw<T: Scalar>(path: &str, data: &NdArray<T>) -> Result<(), CliError> {
     let mut f = std::fs::File::create(path)
         .map_err(|e| CliError::runtime(format!("cannot create {path}: {e}")))?;
+    write_raw_into(&mut f, data)
+}
+
+/// Write a raw little-endian array into any byte sink (the atomic
+/// temp-file writers hand their sink here).
+pub fn write_raw_into<T: Scalar>(sink: &mut dyn Write, data: &NdArray<T>) -> Result<(), CliError> {
     let mut buf = Vec::with_capacity(data.len() * T::BYTES);
     for v in data.as_slice() {
         buf.extend_from_slice(&v.to_le_bytes_vec());
     }
-    f.write_all(&buf)?;
+    sink.write_all(&buf)?;
     Ok(())
 }
 

@@ -7,7 +7,7 @@
 
 use crate::byteio::{ByteReader, ByteWriter};
 use crate::huffman::{HuffmanDecoder, HuffmanEncoder};
-use crate::lz::{lzss_compress_with, lzss_decompress};
+use crate::lz::{lzss_compress_with, lzss_decompress, lzss_decompress_with};
 use crate::scratch::EntropyScratch;
 use crate::{CodecError, Result};
 
@@ -38,6 +38,7 @@ pub fn encode_bins_with(bins: &[u32], scratch: &mut EntropyScratch, out: &mut Ve
             w.put_u8(TAG_DATA);
             let mut huff = ByteWriter::from_vec(std::mem::take(&mut scratch.huff));
             enc.encode_with(bins, &mut scratch.bits, &mut huff);
+            enc.recycle(&mut scratch.huffman);
             let huff = huff.into_vec();
             lzss_compress_with(&huff, &mut scratch.lz, &mut scratch.packed);
             scratch.huff = huff;
@@ -49,14 +50,38 @@ pub fn encode_bins_with(bins: &[u32], scratch: &mut EntropyScratch, out: &mut Ve
 
 /// Inverse of [`encode_bins`].
 pub fn decode_bins(blob: &[u8]) -> Result<Vec<u32>> {
+    let mut out = Vec::new();
+    decode_bins_with(blob, &mut EntropyScratch::new(), &mut out)?;
+    Ok(out)
+}
+
+/// [`decode_bins`] with caller-provided working memory: the LZSS
+/// inflate, the Huffman table rebuild and the decoded symbols all stage
+/// in recycled buffers. `out` is cleared and filled with exactly the
+/// bins the allocating path returns.
+pub fn decode_bins_with(
+    blob: &[u8],
+    scratch: &mut EntropyScratch,
+    out: &mut Vec<u32>,
+) -> Result<()> {
     let mut r = ByteReader::new(blob);
     match r.get_u8()? {
-        TAG_EMPTY => Ok(Vec::new()),
+        TAG_EMPTY => {
+            out.clear();
+            Ok(())
+        }
         TAG_DATA => {
             let packed = r.get_len_prefixed()?;
-            let huff = lzss_decompress(packed)?;
-            let mut hr = ByteReader::new(&huff);
-            HuffmanDecoder::decode(&mut hr)
+            // Stage the inflated Huffman stream in the recycled `huff`
+            // buffer (shared with the encode side; hand it back even on
+            // error so failing decodes don't shrink the arena).
+            let mut huff = std::mem::take(&mut scratch.huff);
+            let res = lzss_decompress_with(packed, &mut scratch.lz, &mut huff).and_then(|()| {
+                let mut hr = ByteReader::new(&huff);
+                HuffmanDecoder::decode_with(&mut hr, &mut scratch.huffman, out)
+            });
+            scratch.huff = huff;
+            res
         }
         _ => Err(CodecError::Corrupt("unknown bin stream tag")),
     }
@@ -79,6 +104,17 @@ pub fn lossless_compress_with(data: &[u8], scratch: &mut EntropyScratch, out: &m
 /// Inverse of [`lossless_compress`].
 pub fn lossless_decompress(data: &[u8]) -> Result<Vec<u8>> {
     lzss_decompress(data)
+}
+
+/// [`lossless_decompress`] with caller-provided working memory: `out`
+/// is cleared and filled with exactly the bytes the allocating path
+/// returns.
+pub fn lossless_decompress_with(
+    data: &[u8],
+    scratch: &mut EntropyScratch,
+    out: &mut Vec<u8>,
+) -> Result<()> {
+    lzss_decompress_with(data, &mut scratch.lz, out)
 }
 
 /// Estimate, in bits, the entropy-coded size of a bin stream without

@@ -14,6 +14,7 @@
 
 use crate::bits::{BitReader, BitWriter};
 use crate::byteio::{ByteReader, ByteWriter};
+use crate::scratch::GrowCounter;
 use crate::{CodecError, Result};
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
@@ -100,17 +101,26 @@ fn code_lengths(freqs: &[(u32, u64)]) -> Vec<(u32, u32)> {
 /// Canonical code assignment: returns `(symbol, length, code)` sorted by
 /// `(length, symbol)`.
 fn canonical_codes(mut lengths: Vec<(u32, u32)>) -> Vec<(u32, u32, u64)> {
-    lengths.sort_by_key(|&(sym, len)| (len, sym));
     let mut out = Vec::with_capacity(lengths.len());
+    canonical_codes_into(&mut lengths, &mut out);
+    out
+}
+
+/// [`canonical_codes`] into a recycled buffer: sorts `lengths` in place
+/// by `(length, symbol)` and fills `out` (cleared first) with the same
+/// `(symbol, length, code)` triples the allocating variant returns.
+fn canonical_codes_into(lengths: &mut [(u32, u32)], out: &mut Vec<(u32, u32, u64)>) {
+    lengths.sort_by_key(|&(sym, len)| (len, sym));
+    out.clear();
+    out.reserve(lengths.len());
     let mut code = 0u64;
     let mut prev_len = 0u32;
-    for (sym, len) in lengths {
+    for &(sym, len) in lengths.iter() {
         code <<= len - prev_len;
         out.push((sym, len, code));
         code += 1;
         prev_len = len;
     }
-    out
 }
 
 /// Widest symbol range for which the encoder keeps a directly-indexed
@@ -129,10 +139,15 @@ enum SymbolTable {
 }
 
 impl SymbolTable {
-    fn build(coded: &[(u32, u32, u64)]) -> SymbolTable {
+    /// Build the lookup table, staging the dense variant in the scratch's
+    /// recycled buffer (handed back via [`HuffmanEncoder::recycle`]). The
+    /// table contents are identical to a freshly allocated build.
+    fn build(coded: &[(u32, u32, u64)], scratch: &mut HuffmanScratch) -> SymbolTable {
         let max = coded.iter().map(|&(s, _, _)| s).max().unwrap_or(0) as usize;
         if max <= coded.len().saturating_mul(16) + DENSE_SYMBOL_SLACK {
-            let mut v = vec![(0u32, 0u64); max + 1];
+            let mut v = std::mem::take(&mut scratch.dense);
+            v.clear();
+            v.resize(max + 1, (0u32, 0u64));
             for &(sym, len, code) in coded {
                 v[sym as usize] = (len, code);
             }
@@ -168,20 +183,40 @@ pub struct HuffmanEncoder {
     entries: Vec<(u32, u32)>,
 }
 
-/// Reusable frequency-counting buffer for [`HuffmanEncoder::from_symbols_with`].
+/// Reusable table-construction buffers for the Huffman coder.
 ///
-/// The dense count table is sized by the largest symbol (tens of
-/// thousands of entries for quantizer bins); recycling it removes the
-/// biggest table-construction allocation from repeated encodes.
+/// The encode side recycles the dense frequency-count table and — via
+/// [`HuffmanEncoder::recycle`] — the dense symbol→code table, both
+/// sized by the largest symbol (tens of thousands of entries for
+/// quantizer bins). The decode side ([`HuffmanDecoder::decode_with`])
+/// recycles the serialized-table staging, the canonical symbol list and
+/// the 2^11-entry primary lookup table. Recycling never changes bytes
+/// or decoded values; the golden-bitstream tests pin this.
 #[derive(Debug, Default)]
 pub struct HuffmanScratch {
     counts: Vec<u64>,
+    /// Encoder dense symbol→code table, recycled across builds.
+    dense: Vec<(u32, u64)>,
+    /// Decoder staging: `(symbol, length)` entries read from the stream.
+    entries: Vec<(u32, u32)>,
+    /// Decoder staging: canonical `(symbol, length, code)` triples.
+    coded: Vec<(u32, u32, u64)>,
+    /// Decoder canonical symbol list, recycled across streams.
+    symbols: Vec<u32>,
+    /// Decoder primary lookup table (2^11 entries), recycled.
+    primary: Vec<u64>,
+    grows: GrowCounter,
 }
 
 impl HuffmanScratch {
     /// Fresh, empty scratch.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Decode-side buffer growth events recorded so far (monotone).
+    pub fn grow_events(&self) -> u64 {
+        self.grows.get()
     }
 }
 
@@ -235,9 +270,18 @@ impl HuffmanEncoder {
         }
 
         let coded = canonical_codes(lengths);
-        let table = SymbolTable::build(&coded);
+        let table = SymbolTable::build(&coded, scratch);
         let entries = coded.iter().map(|&(sym, len, _)| (sym, len)).collect();
         Some(HuffmanEncoder { table, entries })
+    }
+
+    /// Hand the encoder's dense symbol→code table back to `scratch` so
+    /// the next [`HuffmanEncoder::from_symbols_with`] build reuses its
+    /// allocation instead of allocating a fresh table.
+    pub fn recycle(self, scratch: &mut HuffmanScratch) {
+        if let SymbolTable::Dense(v) = self.table {
+            scratch.dense = v;
+        }
     }
 
     /// Number of distinct symbols in the code.
@@ -328,18 +372,38 @@ pub struct HuffmanDecoder {
 }
 
 impl HuffmanDecoder {
+    /// Build from raw `(symbol, length)` entries with fresh table
+    /// allocations (the equivalence tests' entry point; the streaming
+    /// path goes through [`HuffmanDecoder::decode_with`]).
+    #[cfg(test)]
     fn from_entries(entries: Vec<(u32, u32)>) -> Result<Self> {
         let coded = canonical_codes(entries);
+        Self::from_coded(&coded, Vec::new(), Vec::new())
+    }
+
+    /// Build the decoder tables from canonical `(symbol, length, code)`
+    /// triples, filling the recycled `symbols_buf`/`primary_buf` buffers
+    /// (cleared and re-initialized; contents end up identical to a fresh
+    /// allocation).
+    fn from_coded(
+        coded: &[(u32, u32, u64)],
+        symbols_buf: Vec<u32>,
+        primary_buf: Vec<u64>,
+    ) -> Result<Self> {
         // Sanity-check the Kraft inequality so corrupt tables are rejected.
         let kraft: f64 = coded.iter().map(|&(_, l, _)| 2f64.powi(-(l as i32))).sum();
         if kraft > 1.0 + 1e-9 {
             return Err(CodecError::Corrupt("Huffman table violates Kraft bound"));
         }
-        let mut symbols = Vec::with_capacity(coded.len());
+        let mut symbols = symbols_buf;
+        symbols.clear();
+        symbols.reserve(coded.len());
         let mut first_code = [0u64; MAX_CODE_LEN as usize + 1];
         let mut count = [0u32; MAX_CODE_LEN as usize + 1];
         let mut offset = [0u32; MAX_CODE_LEN as usize + 1];
-        let mut primary = vec![0u64; 1 << PRIMARY_BITS];
+        let mut primary = primary_buf;
+        primary.clear();
+        primary.resize(1 << PRIMARY_BITS, 0u64);
         for (i, &(sym, len, code)) in coded.iter().enumerate() {
             let l = len as usize;
             if count[l] == 0 {
@@ -372,6 +436,21 @@ impl HuffmanDecoder {
 
     /// Decode a stream produced by [`HuffmanEncoder::encode`].
     pub fn decode(reader: &mut ByteReader) -> Result<Vec<u32>> {
+        let mut out = Vec::new();
+        Self::decode_with(reader, &mut HuffmanScratch::new(), &mut out)?;
+        Ok(out)
+    }
+
+    /// [`HuffmanDecoder::decode`] with caller-provided working memory:
+    /// the serialized table, the canonical decoder tables (including the
+    /// 2^11-entry primary lookup) and the output staging all live in
+    /// recycled buffers. `out` is cleared and filled with exactly the
+    /// symbols the allocating path returns.
+    pub fn decode_with(
+        reader: &mut ByteReader,
+        scratch: &mut HuffmanScratch,
+        out: &mut Vec<u32>,
+    ) -> Result<()> {
         let n_entries = reader.get_varint()? as usize;
         if n_entries == 0 {
             return Err(CodecError::Corrupt("empty Huffman table"));
@@ -379,24 +458,55 @@ impl HuffmanDecoder {
         if n_entries > (1 << 28) {
             return Err(CodecError::Corrupt("implausible Huffman table size"));
         }
-        let mut entries = Vec::with_capacity(n_entries);
+        scratch.grows.check(scratch.entries.capacity(), n_entries);
+        scratch.entries.clear();
         for _ in 0..n_entries {
             let sym = reader.get_varint()? as u32;
             let len = reader.get_u8()? as u32;
             if len == 0 || len > MAX_CODE_LEN {
                 return Err(CodecError::Corrupt("invalid Huffman code length"));
             }
-            entries.push((sym, len));
+            scratch.entries.push((sym, len));
         }
-        let decoder = Self::from_entries(entries)?;
+        scratch.grows.check(scratch.coded.capacity(), n_entries);
+        scratch.grows.check(scratch.symbols.capacity(), n_entries);
+        scratch
+            .grows
+            .check(scratch.primary.capacity(), 1 << PRIMARY_BITS);
+        let mut coded = std::mem::take(&mut scratch.coded);
+        canonical_codes_into(&mut scratch.entries, &mut coded);
+        let decoder = Self::from_coded(
+            &coded,
+            std::mem::take(&mut scratch.symbols),
+            std::mem::take(&mut scratch.primary),
+        );
+        scratch.coded = coded;
+        let decoder = decoder?;
         let n_symbols = reader.get_varint()? as usize;
         let payload = reader.get_len_prefixed()?;
         let mut bits = BitReader::new(payload);
-        let mut out = Vec::with_capacity(n_symbols.min(1 << 28));
+        let cap = n_symbols.min(1 << 28);
+        scratch.grows.check(out.capacity(), cap);
+        out.clear();
+        out.reserve(cap);
+        let mut res = Ok(());
         for _ in 0..n_symbols {
-            out.push(decoder.decode_one(&mut bits)?);
+            match decoder.decode_one(&mut bits) {
+                Ok(sym) => out.push(sym),
+                Err(e) => {
+                    res = Err(e);
+                    break;
+                }
+            }
         }
-        Ok(out)
+        // Hand the decoder tables back even when the payload was corrupt,
+        // so repeated failing decodes don't degrade the arena.
+        let HuffmanDecoder {
+            symbols, primary, ..
+        } = decoder;
+        scratch.symbols = symbols;
+        scratch.primary = primary;
+        res
     }
 
     /// Decode a single symbol from a bit stream.

@@ -28,14 +28,14 @@ pub mod scratch;
 pub mod stream;
 
 pub use backend::{
-    decode_bins, encode_bins, encode_bins_with, lossless_compress, lossless_compress_with,
-    lossless_decompress,
+    decode_bins, decode_bins_with, encode_bins, encode_bins_with, lossless_compress,
+    lossless_compress_with, lossless_decompress, lossless_decompress_with,
 };
 pub use bits::{BitReader, BitWriter};
 pub use byteio::{ByteReader, ByteWriter};
 pub use huffman::{HuffmanDecoder, HuffmanEncoder};
 pub use quantizer::{LinearQuantizer, Quantized};
-pub use scratch::{EntropyScratch, Scratch};
+pub use scratch::{EntropyScratch, GrowCounter, Scratch};
 pub use stream::{CompressStats, Compressor, CompressorId, ErrorBound, Header};
 
 /// Errors produced while decoding compressed streams.

@@ -15,6 +15,7 @@
 
 use crate::bits::{BitReader, BitWriter};
 use crate::byteio::{ByteReader, ByteWriter};
+use crate::scratch::GrowCounter;
 use crate::{CodecError, Result};
 
 const WINDOW: usize = 1 << 16;
@@ -37,7 +38,8 @@ fn hash4(data: &[u8]) -> usize {
 /// entries, `prev` 2^16) plus flag/literal/match staging on every call;
 /// for repeated compression of similar-sized inputs these dominate the
 /// allocator traffic of the lossless stage. A scratch keeps them alive
-/// across calls — buffers are cleared, capacity is retained.
+/// across calls — buffers are cleared, capacity is retained. The decode
+/// side ([`lzss_decompress_with`]) reuses the match staging too.
 #[derive(Debug, Default)]
 pub struct LzScratch {
     head: Vec<usize>,
@@ -45,12 +47,18 @@ pub struct LzScratch {
     bits: Vec<u8>,
     literals: Vec<u8>,
     matches: Vec<(u16, u8)>,
+    grows: GrowCounter,
 }
 
 impl LzScratch {
     /// Fresh, empty scratch (buffers grow on first use).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Decode-side buffer growth events recorded so far (monotone).
+    pub fn grow_events(&self) -> u64 {
+        self.grows.get()
     }
 }
 
@@ -156,13 +164,28 @@ pub fn lzss_compress_with(input: &[u8], scratch: &mut LzScratch, out: &mut Vec<u
 
 /// Decompress a buffer produced by [`lzss_compress`].
 pub fn lzss_decompress(input: &[u8]) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    lzss_decompress_with(input, &mut LzScratch::new(), &mut out)?;
+    Ok(out)
+}
+
+/// [`lzss_decompress`] with caller-provided working memory: the match
+/// list is staged in `scratch` and the decoded bytes replace the
+/// contents of `out` (cleared, capacity kept). Decoded bytes are
+/// identical to the allocating path.
+pub fn lzss_decompress_with(
+    input: &[u8],
+    scratch: &mut LzScratch,
+    out: &mut Vec<u8>,
+) -> Result<()> {
     let mut r = ByteReader::new(input);
     let total = r.get_varint()? as usize;
     if total > (1 << 34) {
         return Err(CodecError::Corrupt("implausible uncompressed size"));
     }
+    out.clear();
     if total == 0 {
-        return Ok(Vec::new());
+        return Ok(());
     }
     let flags = r.get_len_prefixed()?;
     let literals = r.get_len_prefixed()?;
@@ -170,22 +193,25 @@ pub fn lzss_decompress(input: &[u8]) -> Result<Vec<u8>> {
     if n_matches > input.len() {
         return Err(CodecError::Corrupt("implausible match count"));
     }
-    let mut match_list = Vec::with_capacity(n_matches);
+    scratch.grows.check(scratch.matches.capacity(), n_matches);
+    scratch.matches.clear();
     for _ in 0..n_matches {
-        let dist = r.get_u16()? as usize;
-        let len = r.get_u8()? as usize + MIN_MATCH;
-        match_list.push((dist, len));
+        let dist = r.get_u16()?;
+        let len = r.get_u8()?;
+        scratch.matches.push((dist, len));
     }
 
     let mut bits = BitReader::new(flags);
     let mut lit_iter = literals.iter();
-    let mut match_iter = match_list.iter();
-    let mut out: Vec<u8> = Vec::with_capacity(total);
+    let mut match_iter = scratch.matches.iter();
+    scratch.grows.check(out.capacity(), total);
+    out.reserve(total);
     while out.len() < total {
         if bits.get_bit()? {
             let &(dist, len) = match_iter
                 .next()
                 .ok_or(CodecError::Corrupt("missing match"))?;
+            let (dist, len) = (dist as usize, len as usize + MIN_MATCH);
             if dist == 0 || dist > out.len() {
                 return Err(CodecError::Corrupt("match distance out of range"));
             }
@@ -204,7 +230,7 @@ pub fn lzss_decompress(input: &[u8]) -> Result<Vec<u8>> {
     if out.len() != total {
         return Err(CodecError::Corrupt("length mismatch after decode"));
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -19,6 +19,41 @@ use crate::huffman::HuffmanScratch;
 use crate::lz::LzScratch;
 use qoz_tensor::Scalar;
 
+/// Counts buffer-growth events inside scratch-based decode internals.
+///
+/// Every decode `_with` entry point calls [`GrowCounter::check`] with a
+/// staging buffer's current capacity and the size about to be staged
+/// into it, *before* the buffer is (re)filled. A warm arena that has
+/// already decoded a stream of the same shape therefore records zero
+/// new events — the property `tests/decompress_reuse.rs` pins for
+/// `Pipeline::decompress_into`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GrowCounter(u64);
+
+impl GrowCounter {
+    /// Record one growth event if a buffer of `capacity` must expand to
+    /// hold `needed` elements.
+    #[inline]
+    pub fn check(&mut self, capacity: usize, needed: usize) {
+        if needed > capacity {
+            self.0 += 1;
+        }
+    }
+
+    /// Record one growth event unconditionally (for buffers whose
+    /// capacity the caller observed out of band, e.g. a destination
+    /// array reporting that it had to reallocate).
+    #[inline]
+    pub fn bump(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Total growth events recorded so far (monotone).
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
 /// Working memory for the entropy stage (`bins → Huffman → LZSS`).
 #[derive(Debug, Default)]
 pub struct EntropyScratch {
@@ -62,6 +97,10 @@ pub struct Scratch<T: Scalar> {
     pub section: Vec<u8>,
     /// Entropy-stage working memory.
     pub entropy: EntropyScratch,
+    /// Growth events recorded against this arena's own buffers by the
+    /// decode internals (the entropy scratches keep their own counters;
+    /// [`Scratch::decode_grow_events`] sums all of them).
+    pub grows: GrowCounter,
 }
 
 impl<T: Scalar> Scratch<T> {
@@ -83,6 +122,18 @@ impl<T: Scalar> Scratch<T> {
     pub fn load_work(&mut self, data: &[T]) {
         self.work.clear();
         self.work.extend_from_slice(data);
+    }
+
+    /// Total decode-stage buffer growth events across the whole arena:
+    /// this arena's own buffers plus the LZSS and Huffman scratches.
+    ///
+    /// The count is monotone and survives [`Scratch::clear`] (clearing
+    /// keeps capacity, so it is not a growth event). A warm arena
+    /// decoding a stream shaped like one it has already seen records no
+    /// new events; callers assert zero-allocation steady state by
+    /// sampling this before and after a decode.
+    pub fn decode_grow_events(&self) -> u64 {
+        self.grows.get() + self.entropy.lz.grow_events() + self.entropy.huffman.grow_events()
     }
 }
 

@@ -217,6 +217,45 @@ pub trait Compressor<T: Scalar> {
     /// Decompress a blob produced by [`Compressor::compress`].
     fn decompress(&self, blob: &[u8]) -> Result<NdArray<T>>;
 
+    /// Decompress a blob, staging intermediate buffers in a reusable
+    /// [`Scratch`](crate::scratch::Scratch) arena.
+    ///
+    /// The read-side mirror of [`Compressor::compress_with_scratch`]:
+    /// long-lived callers keep one arena per logical worker and amortize
+    /// stage-buffer allocations (LZSS match lists, Huffman tables,
+    /// decoded side streams) across calls. Decoded values are exactly
+    /// those of [`Compressor::decompress`] — scratch never changes the
+    /// reconstruction. The default implementation ignores the arena;
+    /// backends with heavy stage buffers (QoZ, SZ3) override it.
+    fn decompress_with_scratch(
+        &self,
+        blob: &[u8],
+        scratch: &mut crate::scratch::Scratch<T>,
+    ) -> Result<NdArray<T>> {
+        let _ = scratch;
+        self.decompress(blob)
+    }
+
+    /// Decompress a blob into a caller-provided array, reshaping `out`
+    /// to the stream's shape and reusing its allocation when capacity
+    /// allows.
+    ///
+    /// Combined with a warm scratch arena this is the zero-allocation
+    /// steady-state decode path: after the first call on a given stream
+    /// shape, neither the destination nor any stage buffer reallocates.
+    /// Decoded values are exactly those of [`Compressor::decompress`].
+    /// The default implementation bridges over
+    /// [`Compressor::decompress_with_scratch`].
+    fn decompress_into(
+        &self,
+        blob: &[u8],
+        scratch: &mut crate::scratch::Scratch<T>,
+        out: &mut NdArray<T>,
+    ) -> Result<()> {
+        *out = self.decompress_with_scratch(blob, scratch)?;
+        Ok(())
+    }
+
     /// Compress `data` under `bound` straight into a byte sink, avoiding
     /// a caller-side intermediate buffer.
     ///

@@ -49,11 +49,11 @@ pub use fixed_quality::{
 };
 pub use pipeline::{PlanCache, PlanOutcome};
 
-use qoz_codec::stream::{self, Compressor, CompressorId, ErrorBound, Header};
-use qoz_codec::{ByteReader, CodecError, LinearQuantizer, Result, Scratch};
+use qoz_codec::stream::{Compressor, CompressorId, ErrorBound, Header};
+use qoz_codec::{ByteReader, LinearQuantizer, Result, Scratch};
 use qoz_metrics::QualityMetric;
 use qoz_predict::LevelConfig;
-use qoz_sz3::{decompress_with_spec, select_global_interp, InterpSpec};
+use qoz_sz3::{select_global_interp, InterpSpec};
 use qoz_tensor::{sample_blocks, NdArray, SamplePlan, Scalar};
 
 /// The tuned plan a compression run settled on — exposed for inspection,
@@ -189,19 +189,42 @@ impl Qoz {
 
     /// Typed decompression entry point.
     pub fn decompress_typed<T: Scalar>(&self, blob: &[u8]) -> Result<NdArray<T>> {
+        self.decompress_typed_scratched(blob, &mut Scratch::new())
+    }
+
+    /// [`Qoz::decompress_typed`] staging its stage buffers in a reusable
+    /// arena; decoded values are identical.
+    pub fn decompress_typed_scratched<T: Scalar>(
+        &self,
+        blob: &[u8],
+        scratch: &mut Scratch<T>,
+    ) -> Result<NdArray<T>> {
         let mut r = ByteReader::new(blob);
-        let header = stream::read_header(&mut r)?;
-        if header.compressor != CompressorId::Qoz {
-            return Err(CodecError::Corrupt("not a QoZ stream"));
-        }
-        if header.scalar_tag != T::TYPE_TAG {
-            return Err(CodecError::Corrupt("scalar type mismatch"));
-        }
-        let spec = InterpSpec::read(&mut r, header.shape)?;
-        let bins = qoz_codec::decode_bins(r.get_len_prefixed()?)?;
-        let unpred = qoz_codec::lossless_decompress(r.get_len_prefixed()?)?;
-        let anchors = qoz_codec::lossless_decompress(r.get_len_prefixed()?)?;
-        decompress_with_spec::<T>(header.shape, &spec, &bins, &unpred, &anchors)
+        let header = qoz_sz3::engine::check_stream_header::<T>(
+            &mut r,
+            CompressorId::Qoz,
+            "not a QoZ stream",
+        )?;
+        let mut out = NdArray::<T>::zeros(header.shape);
+        qoz_sz3::engine::read_stream_into(&mut r, &header, scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Qoz::decompress_typed`] into a caller-provided array, reshaped
+    /// in place — with a warm arena the zero-allocation decode path.
+    pub fn decompress_into_scratched<T: Scalar>(
+        &self,
+        blob: &[u8],
+        scratch: &mut Scratch<T>,
+        out: &mut NdArray<T>,
+    ) -> Result<()> {
+        let mut r = ByteReader::new(blob);
+        let header = qoz_sz3::engine::check_stream_header::<T>(
+            &mut r,
+            CompressorId::Qoz,
+            "not a QoZ stream",
+        )?;
+        qoz_sz3::engine::read_stream_into(&mut r, &header, scratch, out)
     }
 }
 
@@ -223,6 +246,17 @@ impl<T: Scalar> Compressor<T> for Qoz {
     }
     fn decompress(&self, blob: &[u8]) -> Result<NdArray<T>> {
         self.decompress_typed(blob)
+    }
+    fn decompress_with_scratch(&self, blob: &[u8], scratch: &mut Scratch<T>) -> Result<NdArray<T>> {
+        self.decompress_typed_scratched(blob, scratch)
+    }
+    fn decompress_into(
+        &self,
+        blob: &[u8],
+        scratch: &mut Scratch<T>,
+        out: &mut NdArray<T>,
+    ) -> Result<()> {
+        self.decompress_into_scratched(blob, scratch, out)
     }
 }
 

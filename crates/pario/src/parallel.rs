@@ -8,11 +8,13 @@
 //! construction. Chunks are near-equal sized (see [`chunk_along_dim0`]),
 //! which keeps the static split balanced.
 //!
-//! Each worker owns one [`Scratch`] arena for its whole slab, so stage
-//! buffers (working copy, bins, side streams, entropy staging) are
-//! allocated once per worker rather than once per chunk — the archive
-//! writer's many-chunk variables ride this directly. Scratch never
-//! changes bytes, so the serial-equals-parallel invariant is untouched.
+//! Each worker owns one [`Scratch`] arena for its whole slab — on both
+//! directions of the pipeline — so stage buffers (working copy, bins,
+//! side streams, entropy staging) are allocated once per worker rather
+//! than once per chunk: the archive writer's many-chunk variables ride
+//! the compress slabs, the archive reader's region queries ride the
+//! decode slabs. Scratch never changes bytes or decoded values, so the
+//! serial-equals-parallel invariant is untouched.
 
 use qoz_codec::stream::{Compressor, ErrorBound};
 use qoz_codec::{Result, Scratch};
@@ -130,8 +132,12 @@ where
     crossbeam::scope(|s| {
         for (out_slab, in_slab) in results.chunks_mut(per).zip(blobs.chunks(per)) {
             s.spawn(move |_| {
+                // One arena per worker, mirroring `compress_chunks`:
+                // the decode slab reuses its stage buffers across every
+                // blob, with values identical to the allocating path.
+                let mut scratch = Scratch::new();
                 for (out, blob) in out_slab.iter_mut().zip(in_slab) {
-                    *out = Some(compressor.decompress(blob));
+                    *out = Some(compressor.decompress_with_scratch(blob, &mut scratch));
                 }
             });
         }

@@ -196,6 +196,65 @@ pub fn write_stream<T: Scalar>(
     w.finish()
 }
 
+/// Read and validate a stream header against the expected compressor id
+/// and element type — the shared front half of every engine-backed
+/// decoder (SZ3 and QoZ differ only in `expect` and the error message).
+pub fn check_stream_header<T: Scalar>(
+    r: &mut ByteReader,
+    expect: stream::CompressorId,
+    wrong_kind: &'static str,
+) -> Result<Header> {
+    let header = stream::read_header(r)?;
+    if header.compressor != expect {
+        return Err(CodecError::Corrupt(wrong_kind));
+    }
+    if header.scalar_tag != T::TYPE_TAG {
+        return Err(CodecError::Corrupt("scalar type mismatch"));
+    }
+    Ok(header)
+}
+
+/// Decode the body of a stream assembled by [`write_stream`] — spec,
+/// entropy-coded bins, packed side streams — staging every section in
+/// `scratch`, then rebuild the array into `out` (reshaped in place).
+/// The read-side mirror of [`compress_with_spec_into`] +
+/// [`write_stream`]; decoded values are bitwise-identical to the
+/// allocating [`decompress_with_spec`] chain.
+pub fn read_stream_into<T: Scalar>(
+    r: &mut ByteReader,
+    header: &Header,
+    scratch: &mut Scratch<T>,
+    out: &mut NdArray<T>,
+) -> Result<()> {
+    let spec = InterpSpec::read(r, header.shape)?;
+    qoz_codec::decode_bins_with(
+        r.get_len_prefixed()?,
+        &mut scratch.entropy,
+        &mut scratch.bins,
+    )?;
+    qoz_codec::lossless_decompress_with(
+        r.get_len_prefixed()?,
+        &mut scratch.entropy,
+        &mut scratch.unpred,
+    )?;
+    qoz_codec::lossless_decompress_with(
+        r.get_len_prefixed()?,
+        &mut scratch.entropy,
+        &mut scratch.anchors,
+    )?;
+    if decompress_with_spec_into(
+        header.shape,
+        &spec,
+        &scratch.bins,
+        &scratch.unpred,
+        &scratch.anchors,
+        out,
+    )? {
+        scratch.grows.bump();
+    }
+    Ok(())
+}
+
 /// Mirror of [`compress_with_spec`]: rebuild the array from streams.
 pub fn decompress_with_spec<T: Scalar>(
     shape: Shape,
@@ -205,6 +264,26 @@ pub fn decompress_with_spec<T: Scalar>(
     anchors: &[u8],
 ) -> Result<NdArray<T>> {
     let mut work = NdArray::<T>::zeros(shape);
+    decompress_with_spec_into(shape, spec, bins, unpred, anchors, &mut work)?;
+    Ok(work)
+}
+
+/// [`decompress_with_spec`] into a caller-provided array: `out` is
+/// reshaped to `shape` (reusing its allocation when capacity allows,
+/// zero-filled first like the allocating path) and rebuilt in place.
+/// Returns `true` when `out`'s backing buffer had to grow, so callers
+/// tracking zero-allocation steady state can count the event. The
+/// reconstruction is bitwise-identical to [`decompress_with_spec`].
+pub fn decompress_with_spec_into<T: Scalar>(
+    shape: Shape,
+    spec: &InterpSpec,
+    bins: &[u32],
+    unpred: &[u8],
+    anchors: &[u8],
+    out: &mut NdArray<T>,
+) -> Result<bool> {
+    let grew = out.reset_zeros(shape);
+    let work = out;
     let mut bin_pos = 0usize;
     let mut unpred_r = ByteReader::new(unpred);
     let mut failed: Option<CodecError> = None;
@@ -296,7 +375,7 @@ pub fn decompress_with_spec<T: Scalar>(
     if bin_pos != bins.len() {
         return Err(CodecError::Corrupt("trailing quantization bins"));
     }
-    Ok(work)
+    Ok(grew)
 }
 
 #[cfg(test)]

@@ -18,13 +18,14 @@ pub mod select;
 pub mod spec;
 
 pub use engine::{
-    compress_with_spec, compress_with_spec_into, decompress_with_spec, CompressOutput, EngineStats,
+    compress_with_spec, compress_with_spec_into, decompress_with_spec, decompress_with_spec_into,
+    CompressOutput, EngineStats,
 };
 pub use select::select_global_interp;
 pub use spec::InterpSpec;
 
-use qoz_codec::stream::{self, Compressor, CompressorId, ErrorBound, Header};
-use qoz_codec::{ByteReader, CodecError, Result, Scratch};
+use qoz_codec::stream::{Compressor, CompressorId, ErrorBound, Header};
+use qoz_codec::{ByteReader, Result, Scratch};
 use qoz_tensor::{NdArray, Scalar};
 
 /// The SZ3 baseline compressor.
@@ -84,19 +85,36 @@ impl Sz3 {
 
     /// Decompress with an explicit scalar type.
     pub fn decompress_typed<T: Scalar>(&self, blob: &[u8]) -> Result<NdArray<T>> {
+        self.decompress_typed_scratched(blob, &mut Scratch::new())
+    }
+
+    /// [`Sz3::decompress_typed`] staging its stage buffers in a reusable
+    /// arena; decoded values are identical.
+    pub fn decompress_typed_scratched<T: Scalar>(
+        &self,
+        blob: &[u8],
+        scratch: &mut Scratch<T>,
+    ) -> Result<NdArray<T>> {
         let mut r = ByteReader::new(blob);
-        let header = stream::read_header(&mut r)?;
-        if header.compressor != CompressorId::Sz3 {
-            return Err(CodecError::Corrupt("not an SZ3 stream"));
-        }
-        if header.scalar_tag != T::TYPE_TAG {
-            return Err(CodecError::Corrupt("scalar type mismatch"));
-        }
-        let spec = InterpSpec::read(&mut r, header.shape)?;
-        let bins = qoz_codec::decode_bins(r.get_len_prefixed()?)?;
-        let unpred = qoz_codec::lossless_decompress(r.get_len_prefixed()?)?;
-        let anchors = qoz_codec::lossless_decompress(r.get_len_prefixed()?)?;
-        decompress_with_spec::<T>(header.shape, &spec, &bins, &unpred, &anchors)
+        let header =
+            engine::check_stream_header::<T>(&mut r, CompressorId::Sz3, "not an SZ3 stream")?;
+        let mut out = NdArray::<T>::zeros(header.shape);
+        engine::read_stream_into(&mut r, &header, scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Sz3::decompress_typed`] into a caller-provided array, reshaped
+    /// in place — with a warm arena the zero-allocation decode path.
+    pub fn decompress_into_scratched<T: Scalar>(
+        &self,
+        blob: &[u8],
+        scratch: &mut Scratch<T>,
+        out: &mut NdArray<T>,
+    ) -> Result<()> {
+        let mut r = ByteReader::new(blob);
+        let header =
+            engine::check_stream_header::<T>(&mut r, CompressorId::Sz3, "not an SZ3 stream")?;
+        engine::read_stream_into(&mut r, &header, scratch, out)
     }
 }
 
@@ -117,6 +135,17 @@ impl<T: Scalar> Compressor<T> for Sz3 {
     }
     fn decompress(&self, blob: &[u8]) -> Result<NdArray<T>> {
         self.decompress_typed(blob)
+    }
+    fn decompress_with_scratch(&self, blob: &[u8], scratch: &mut Scratch<T>) -> Result<NdArray<T>> {
+        self.decompress_typed_scratched(blob, scratch)
+    }
+    fn decompress_into(
+        &self,
+        blob: &[u8],
+        scratch: &mut Scratch<T>,
+        out: &mut NdArray<T>,
+    ) -> Result<()> {
+        self.decompress_into_scratched(blob, scratch, out)
     }
 }
 

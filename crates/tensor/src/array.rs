@@ -83,6 +83,18 @@ impl<T: Scalar> NdArray<T> {
         self.data
     }
 
+    /// Reshape in place to `shape`, resetting every element to zero and
+    /// reusing the existing allocation when capacity allows — the
+    /// destination-side half of a zero-allocation decode loop. Returns
+    /// `true` when the backing buffer had to grow.
+    pub fn reset_zeros(&mut self, shape: Shape) -> bool {
+        let grew = shape.len() > self.data.capacity();
+        self.data.clear();
+        self.data.resize(shape.len(), T::zero());
+        self.shape = shape;
+        grew
+    }
+
     /// Element at a multi-index.
     #[inline(always)]
     pub fn get(&self, idx: &[usize]) -> T {

@@ -54,7 +54,7 @@ fn main() {
         &[8, 24, 24],
     );
     let t0 = std::time::Instant::now();
-    let mut r = ArchiveReader::from_bytes(&bytes).unwrap();
+    let r = ArchiveReader::from_bytes(&bytes).unwrap();
     let slab: NdArray<f32> = r.read_region("wind", &roi).unwrap();
     let t_region = t0.elapsed().as_secs_f64();
     println!(
@@ -73,7 +73,7 @@ fn main() {
 
     // Contrast with decompressing everything.
     let t0 = std::time::Instant::now();
-    let mut r_full = ArchiveReader::from_bytes(&bytes).unwrap();
+    let r_full = ArchiveReader::from_bytes(&bytes).unwrap();
     let full: NdArray<f32> = r_full.read_full("wind").unwrap();
     let t_full = t0.elapsed().as_secs_f64();
     println!(

@@ -41,7 +41,7 @@ fn per_backend_roundtrip_and_region_equality() {
         w.add_variable("v", &data, c.as_ref(), bound).unwrap();
         let bytes = w.finish();
 
-        let mut r = ArchiveReader::from_bytes(&bytes).unwrap();
+        let r = ArchiveReader::from_bytes(&bytes).unwrap();
         let full: NdArray<f32> = r.read_full("v").unwrap();
         assert!(
             data.max_abs_diff(&full) <= 1e-3 * (1.0 + 1e-9),
@@ -82,7 +82,7 @@ fn multi_variable_mixed_types() {
     .unwrap();
     let bytes = w.finish();
 
-    let mut r = ArchiveReader::from_bytes(&bytes).unwrap();
+    let r = ArchiveReader::from_bytes(&bytes).unwrap();
     assert_eq!(r.toc().vars.len(), 2);
     let ra: NdArray<f32> = r.read_full("temp").unwrap();
     assert!(a.max_abs_diff(&ra) <= 1e-3 * (1.0 + 1e-9));
@@ -120,7 +120,7 @@ fn one_percent_region_of_256cubed_reads_under_5_percent() {
     let region = Region::new(&[37, 70, 101], &[55, 55, 55]);
     assert!((region.len() as f64 / data.len() as f64 - 0.01).abs() < 0.002);
 
-    let mut r = ArchiveReader::from_bytes(&bytes).unwrap();
+    let r = ArchiveReader::from_bytes(&bytes).unwrap();
     let slab: NdArray<f32> = r.read_region("v", &region).unwrap();
     let read = r.bytes_read();
     let total = r.archive_len();
@@ -131,7 +131,7 @@ fn one_percent_region_of_256cubed_reads_under_5_percent() {
     );
 
     // And the slab is still exactly what a full decompress would give.
-    let mut r2 = ArchiveReader::from_bytes(&bytes).unwrap();
+    let r2 = ArchiveReader::from_bytes(&bytes).unwrap();
     let full: NdArray<f32> = r2.read_full("v").unwrap();
     assert_eq!(slab.as_slice(), full.extract_region(&region).as_slice());
     // Bound still holds end to end.
@@ -155,7 +155,7 @@ fn truncated_archive_rejected() {
         let truncated = &bytes[..cut];
         let outcome = match ArchiveReader::from_bytes(truncated) {
             Err(_) => Err(()),
-            Ok(mut r) => r.read_full::<f32>("v").map(|_| ()).map_err(|_| ()),
+            Ok(r) => r.read_full::<f32>("v").map(|_| ()).map_err(|_| ()),
         };
         assert!(outcome.is_err(), "truncation at {cut} accepted");
     }
@@ -183,7 +183,7 @@ fn payload_bitflips_detected_by_verify() {
     for pos in (payload_start..bytes.len()).step_by(step) {
         let mut bad = bytes.clone();
         bad[pos] ^= 0x10;
-        let mut r = ArchiveReader::from_bytes(&bad).unwrap();
+        let r = ArchiveReader::from_bytes(&bad).unwrap();
         assert!(
             matches!(r.verify(), Err(ArchiveError::ChecksumMismatch { .. })),
             "payload flip at {pos} not caught"
@@ -228,7 +228,7 @@ fn file_backed_archive_roundtrip() {
     .unwrap();
     let written = w.write_to(&path).unwrap();
 
-    let mut r = ArchiveReader::open(&path).unwrap();
+    let r = ArchiveReader::open(&path).unwrap();
     assert_eq!(r.archive_len(), written);
     // Fits inside the first 8x8x8 chunk: only one chunk is fetched.
     let region = Region::new(&[1, 1, 1], &[6, 6, 6]);

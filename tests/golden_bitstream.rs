@@ -73,6 +73,62 @@ fn qoz_streams_are_byte_identical_to_seed() {
     }
 }
 
+/// Deterministic f64 field: the seeded f32 dataset widened per element
+/// (exact, so the stream depends only on the datagen seed).
+fn wide_field(ds: Dataset) -> qoz_suite::tensor::NdArray<f64> {
+    let f = ds.generate(SizeClass::Tiny, 0);
+    qoz_suite::tensor::NdArray::from_vec(
+        f.shape(),
+        f.as_slice().iter().map(|&v| v as f64).collect(),
+    )
+}
+
+fn golden_case_f64<C: Compressor<f64>>(c: &C, ds: Dataset, eps: f64) -> (usize, u64) {
+    let data = wide_field(ds);
+    let blob = c.compress(&data, ErrorBound::Rel(eps));
+    let recon = c.decompress(&blob).expect("golden blob must decode");
+    let abs = ErrorBound::Rel(eps).absolute(&data);
+    assert!(data.max_abs_diff(&recon) <= abs * (1.0 + 1e-9));
+    (blob.len(), fnv1a(&blob))
+}
+
+/// The f64 side of the format contract: the double-precision encode path
+/// (8-byte unpredictable/anchor records, f64 Kraft accounting in the
+/// Huffman table check) is pinned with its own golden constants.
+#[test]
+fn sz3_f64_streams_are_byte_identical_to_seed() {
+    let c = qoz_suite::sz3::Sz3::default();
+    let expect: [(Dataset, f64, usize, u64); 2] = [
+        (Dataset::Miranda, 1e-3, 12852, 0xa2b3a336bc7e5a8e),
+        (Dataset::CesmAtm, 1e-3, 6130, 0x912a9908483c668d),
+    ];
+    for (ds, eps, len, hash) in expect {
+        let (got_len, got_hash) = golden_case_f64(&c, ds, eps);
+        assert_eq!(
+            (got_len, got_hash),
+            (len, hash),
+            "sz3 f64 stream changed for {ds:?} eps={eps:e}: got ({got_len}, {got_hash:#x})"
+        );
+    }
+}
+
+#[test]
+fn qoz_f64_streams_are_byte_identical_to_seed() {
+    let c = qoz_suite::qoz::Qoz::default();
+    let expect: [(Dataset, f64, usize, u64); 2] = [
+        (Dataset::Miranda, 1e-3, 12813, 0xd7806195949d9ed7),
+        (Dataset::Hurricane, 1e-2, 8262, 0xb44c6fab85a98c7a),
+    ];
+    for (ds, eps, len, hash) in expect {
+        let (got_len, got_hash) = golden_case_f64(&c, ds, eps);
+        assert_eq!(
+            (got_len, got_hash),
+            (len, hash),
+            "qoz f64 stream changed for {ds:?} eps={eps:e}: got ({got_len}, {got_hash:#x})"
+        );
+    }
+}
+
 /// The warm pipeline path (cached plan + reused scratch arena) must emit
 /// the same pinned bytes as the cold path: caching changes when work
 /// happens, never what is written. Both the cold (first) and warm

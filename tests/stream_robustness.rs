@@ -105,7 +105,7 @@ fn sample_archive() -> (Vec<u8>, usize) {
 fn archive_must_reject(bytes: &[u8], what: &str) {
     let outcome = std::panic::catch_unwind(|| match ArchiveReader::from_bytes(bytes) {
         Err(_) => true,
-        Ok(mut r) => {
+        Ok(r) => {
             let read = r.read_full::<f32>("v").is_err();
             let verified = r.verify().is_err();
             read && verified
