@@ -126,6 +126,27 @@ impl<T: Scalar> Pipeline<T> {
         }
     }
 
+    /// A portable copy of the current cached plan for persistence
+    /// (`None` when the cache is cold or the backend has no plan cache).
+    /// `qoz-serve` snapshots every pipeline at graceful shutdown and
+    /// writes the collection next to the served archives.
+    pub fn plan_snapshot(&self) -> Option<qoz_core::PlanSnapshot> {
+        match &self.engine {
+            Engine::Qoz(inner) => inner.1.snapshot(),
+            Engine::Other(_) => None,
+        }
+    }
+
+    /// Seed the plan cache from a persisted snapshot so the first
+    /// matching [`Pipeline::compress`] call replays it warm instead of
+    /// cold-tuning — the `qoz-serve` warm-restart path. A no-op for
+    /// backends without a plan cache.
+    pub fn prime_plan(&mut self, snap: qoz_core::PlanSnapshot) {
+        if let Engine::Qoz(inner) = &mut self.engine {
+            inner.1.seed(snap);
+        }
+    }
+
     /// Compress one snapshot toward the session target.
     ///
     /// [`Target::Bound`] sessions run the warm path: QoZ consults the
@@ -305,6 +326,28 @@ mod tests {
         assert!(out.achieved.unwrap() >= 50.0);
         assert_eq!(pipe.last_outcome(), None);
         assert_eq!(pipe.stats(), PipelineStats::default());
+    }
+
+    #[test]
+    fn primed_pipeline_serves_first_call_warm() {
+        let data = Dataset::Miranda.generate(SizeClass::Tiny, 0);
+        let session = Session::builder()
+            .bound(ErrorBound::Rel(1e-3))
+            .build()
+            .unwrap();
+        let mut cold_pipe = session.pipeline::<f32>();
+        assert!(cold_pipe.plan_snapshot().is_none(), "cold cache: no snap");
+        let cold = cold_pipe.compress(&data).unwrap();
+        let snap = cold_pipe.plan_snapshot().expect("tuned cache snapshots");
+
+        // A fresh pipeline primed with the snapshot skips the cold tune
+        // and still emits byte-identical output.
+        let mut primed = session.pipeline::<f32>();
+        primed.prime_plan(snap);
+        let out = primed.compress(&data).unwrap();
+        assert_eq!(primed.last_outcome(), Some(PlanOutcome::WarmHit));
+        assert_eq!(out.blob, cold.blob);
+        assert_eq!(primed.stats().cold_tunes, 0);
     }
 
     #[test]

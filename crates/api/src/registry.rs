@@ -15,14 +15,16 @@ use qoz_tensor::{NdArray, Scalar};
 /// A thread-safe compression backend usable through the facade.
 ///
 /// Blanket-implemented for everything that implements
-/// [`Compressor`]`<T> + Sync`, so any workspace backend — and any
-/// downstream custom codec — qualifies automatically. The trait exists
-/// so registry consumers can hold `Box<dyn Codec<T>>` and still hand it
-/// to generic plumbing (`qoz_pario`, `qoz_archive`) that wants a
-/// `Compressor<T> + Sync`.
-pub trait Codec<T: Scalar>: Compressor<T> + Sync {}
+/// [`Compressor`]`<T> + Send + Sync`, so any workspace backend — and
+/// any downstream custom codec — qualifies automatically. The trait
+/// exists so registry consumers can hold `Box<dyn Codec<T>>` and still
+/// hand it to generic plumbing (`qoz_pario`, `qoz_archive`) that wants
+/// a `Compressor<T> + Sync`. `Send` is part of the bargain so owning
+/// types ([`crate::Pipeline`], `qoz_serve` workers) can migrate between
+/// threads.
+pub trait Codec<T: Scalar>: Compressor<T> + Send + Sync {}
 
-impl<T: Scalar, C: Compressor<T> + Sync + ?Sized> Codec<T> for C {}
+impl<T: Scalar, C: Compressor<T> + Send + Sync + ?Sized> Codec<T> for C {}
 
 /// Maps a [`BackendId`] to a ready-to-use codec, generic over the
 /// element type.

@@ -62,7 +62,7 @@ pub use appender::ArchiveAppender;
 pub use format::{
     fnv1a, parse_snapshot_name, snapshot_name, ChunkEntry, Toc, VarMeta, MAGIC, VERSION,
 };
-pub use reader::{ArchiveReader, VerifyReport};
+pub use reader::{ArchiveReader, ChunkFault, FaultKind, VerifyReport};
 pub use source::{ByteSource, FileSource, SliceSource};
 pub use writer::ArchiveWriter;
 

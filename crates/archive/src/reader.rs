@@ -13,15 +13,55 @@ use crate::{ArchiveError, Result};
 use qoz_codec::Scratch;
 use qoz_tensor::{NdArray, Region, Scalar, Shape};
 
-/// Summary returned by [`ArchiveReader::verify`].
+/// How a stored chunk failed verification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The chunk's bytes could not be fetched — its indexed range runs
+    /// past the bytes the source can actually produce (a torn write or
+    /// a file truncated underneath an open reader).
+    Truncated,
+    /// All bytes are present but hash to the wrong checksum (includes
+    /// the pathological case of a checksum-colliding blob that then
+    /// fails to decode).
+    BitFlip,
+}
+
+/// One damaged chunk, located precisely enough to route reads around
+/// it: a degraded server keeps serving every region that does not touch
+/// `(var, chunk)` and zero-fills the slab parts that do (see
+/// [`ArchiveReader::read_region_tolerant`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkFault {
+    /// Variable the chunk belongs to.
+    pub var: String,
+    /// Chunk index within the variable's grid.
+    pub chunk: usize,
+    /// What kind of damage was detected.
+    pub kind: FaultKind,
+}
+
+/// Full damage report returned by [`ArchiveReader::verify`].
+///
+/// Verification scans **every** chunk of every variable — it never
+/// stops at the first fault — so one pass yields the complete map of
+/// what is still servable.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerifyReport {
     /// Variables checked.
     pub vars: usize,
-    /// Chunks whose checksums were verified.
+    /// Chunks whose checksums were verified (clean or not).
     pub chunks: usize,
     /// Payload bytes covered.
     pub payload_bytes: u64,
+    /// Every damaged chunk found, in (variable, chunk) scan order.
+    pub faults: Vec<ChunkFault>,
+}
+
+impl VerifyReport {
+    /// `true` when every chunk verified clean.
+    pub fn is_clean(&self) -> bool {
+        self.faults.is_empty()
+    }
 }
 
 /// Random-access reader over a QZAR archive.
@@ -138,6 +178,21 @@ impl<S: ByteSource> ArchiveReader<S> {
         Ok(blob)
     }
 
+    /// Fetch chunk `k` of `var`, mapping any failure to the
+    /// [`FaultKind`] a damage report records: an unreadable byte range
+    /// is truncation, a readable range with the wrong hash a bit-flip.
+    fn classify_chunk(&self, var_idx: usize, k: usize) -> std::result::Result<Vec<u8>, FaultKind> {
+        let entry = self.toc.vars[var_idx].chunks[k];
+        let blob = self
+            .src
+            .read_at(self.payload_start + entry.offset, entry.len as usize)
+            .map_err(|_| FaultKind::Truncated)?;
+        if fnv1a(&blob) != entry.checksum {
+            return Err(FaultKind::BitFlip);
+        }
+        Ok(blob)
+    }
+
     fn var_index<T: Scalar>(&self, name: &str) -> Result<usize> {
         let idx = self
             .toc
@@ -246,20 +301,82 @@ impl<S: ByteSource> ArchiveReader<S> {
     /// Integrity fast path: fetch every chunk and check its checksum
     /// (and the TOC's, already checked at open) **without** spending any
     /// time decompressing.
+    ///
+    /// Damage never aborts the scan — every chunk of every variable is
+    /// checked and every fault lands in [`VerifyReport::faults`], so a
+    /// single pass tells a server exactly which chunks it must route
+    /// around (and whether the damage is a torn tail or scattered
+    /// bit-flips). A report with [`VerifyReport::is_clean`] `== false`
+    /// is still `Ok`: failing to *verify* is not failing to *scan*.
     pub fn verify(&self) -> Result<VerifyReport> {
         let mut report = VerifyReport {
             vars: self.toc.vars.len(),
             chunks: 0,
             payload_bytes: 0,
+            faults: Vec::new(),
         };
         for v in 0..self.toc.vars.len() {
             for k in 0..self.toc.vars[v].chunks.len() {
-                let blob = self.fetch_chunk(v, k)?;
                 report.chunks += 1;
-                report.payload_bytes += blob.len() as u64;
+                report.payload_bytes += self.toc.vars[v].chunks[k].len;
+                if let Err(kind) = self.classify_chunk(v, k) {
+                    report.faults.push(ChunkFault {
+                        var: self.toc.vars[v].name.clone(),
+                        chunk: k,
+                        kind,
+                    });
+                }
             }
         }
         Ok(report)
+    }
+
+    /// [`ArchiveReader::read_region_with`] that serves *around* damaged
+    /// chunks instead of failing the whole query.
+    ///
+    /// Chunks that fetch and decode cleanly land in the slab exactly as
+    /// in the strict path (bitwise equal where clean); chunks that are
+    /// truncated, checksum-broken, or undecodable leave their part of
+    /// the slab **zero-filled** and are reported in the returned fault
+    /// list. An empty fault list therefore certifies a byte-identical
+    /// result to [`ArchiveReader::read_region_with`]; a non-empty one is
+    /// the daemon's "degraded read" answer. Structural errors that make
+    /// the query itself meaningless (unknown variable, type mismatch,
+    /// out-of-bounds region) still fail hard.
+    pub fn read_region_tolerant<T: Scalar>(
+        &self,
+        name: &str,
+        region: &Region,
+        scratch: &mut Scratch<T>,
+    ) -> Result<(NdArray<T>, Vec<ChunkFault>)> {
+        let (var_idx, grid, hits) = self.plan_region::<T>(name, region)?;
+        let codec = qoz_api::BackendRegistry::new().codec::<T>(self.toc.vars[var_idx].compressor);
+        let mut clean_hits = Vec::with_capacity(hits.len());
+        let mut chunks = Vec::with_capacity(hits.len());
+        let mut faults = Vec::new();
+        for (k, overlap) in hits {
+            let kind = match self.classify_chunk(var_idx, k) {
+                Ok(blob) => match codec.decompress_with_scratch(&blob, scratch) {
+                    Ok(decoded) if decoded.shape().dims() == grid[k].size() => {
+                        clean_hits.push((k, overlap));
+                        chunks.push(decoded);
+                        continue;
+                    }
+                    // Checksum passed but the stream won't decode (or
+                    // decodes to the wrong shape): payload damage, not
+                    // a missing tail.
+                    _ => FaultKind::BitFlip,
+                },
+                Err(kind) => kind,
+            };
+            faults.push(ChunkFault {
+                var: self.toc.vars[var_idx].name.clone(),
+                chunk: k,
+                kind,
+            });
+        }
+        let slab = stitch(region, &grid, &clean_hits, &chunks)?;
+        Ok((slab, faults))
     }
 }
 
@@ -430,6 +547,8 @@ mod tests {
         assert_eq!(report.vars, 1);
         assert_eq!(report.chunks, 4 * 3 * 3);
         assert!(report.payload_bytes > 0);
+        assert!(report.is_clean());
+        assert_eq!(report.faults, vec![]);
     }
 
     #[test]
@@ -438,10 +557,139 @@ mod tests {
         let n = bytes.len();
         bytes[n - 10] ^= 0xFF; // inside the last chunk's blob
         let r = ArchiveReader::from_bytes(&bytes).unwrap();
+        let report = r.verify().unwrap();
+        assert!(!report.is_clean());
+        // The scan still covered the whole archive and located the
+        // damage precisely: last chunk, wrong hash, bytes all present.
+        assert_eq!(report.chunks, 4 * 3 * 3);
+        assert_eq!(
+            report.faults,
+            vec![ChunkFault {
+                var: "rho".into(),
+                chunk: 4 * 3 * 3 - 1,
+                kind: FaultKind::BitFlip,
+            }]
+        );
+        // The strict read path still refuses the damaged chunk.
         assert!(matches!(
-            r.verify(),
+            r.read_full::<f32>("rho"),
             Err(ArchiveError::ChecksumMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn multi_fault_scan_does_not_stop_early() {
+        let data = field();
+        let mut w = ArchiveWriter::new().with_chunk_side(4);
+        w.add_variable("a", &data, &qoz_sz3::Sz3::default(), ErrorBound::Abs(1e-3))
+            .unwrap();
+        w.add_variable("b", &data, &qoz_sz3::Sz3::default(), ErrorBound::Abs(1e-3))
+            .unwrap();
+        let mut bytes = w.finish();
+        // Flip one byte inside each variable's first chunk.
+        let (toc, payload_start) = {
+            let r = ArchiveReader::from_bytes(&bytes).unwrap();
+            (r.toc().clone(), bytes.len() as u64 - r.payload_len())
+        };
+        for var in &toc.vars {
+            let off = payload_start + var.chunks[0].offset;
+            bytes[off as usize] ^= 0xFF;
+        }
+        let r = ArchiveReader::from_bytes(&bytes).unwrap();
+        let report = r.verify().unwrap();
+        assert_eq!(report.chunks, 2 * 4 * 3 * 3, "scan covers both vars");
+        assert_eq!(report.faults.len(), 2, "one fault per damaged var");
+        assert_eq!(report.faults[0].var, "a");
+        assert_eq!(report.faults[1].var, "b");
+        assert!(report
+            .faults
+            .iter()
+            .all(|f| f.chunk == 0 && f.kind == FaultKind::BitFlip));
+    }
+
+    #[test]
+    fn shrunk_file_reports_truncation_not_bitflip() {
+        let bytes = archive();
+        let path = std::env::temp_dir()
+            .join(format!("qoz_archive_shrunk_{}.qza", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        std::fs::write(&path, &bytes).unwrap();
+        let r = ArchiveReader::open(&path).unwrap();
+        // The file is torn underneath the open reader — the tail chunk's
+        // byte range no longer exists.
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(bytes.len() as u64 - 10).unwrap();
+        drop(f);
+        let report = r.verify().unwrap();
+        assert!(!report.is_clean());
+        assert!(
+            report.faults.iter().all(|f| f.kind == FaultKind::Truncated),
+            "{:?}",
+            report.faults
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tolerant_read_zero_fills_damage_and_reports_it() {
+        let mut bytes = archive();
+        let n = bytes.len();
+        bytes[n - 10] ^= 0xFF; // damage the last chunk
+        let r = ArchiveReader::from_bytes(&bytes).unwrap();
+        let bad_chunk = 4 * 3 * 3 - 1;
+        let full_region = Region::new(&[0, 0, 0], &[13, 11, 9]);
+        let mut scratch = Scratch::new();
+        let (slab, faults): (NdArray<f32>, _) = r
+            .read_region_tolerant("rho", &full_region, &mut scratch)
+            .unwrap();
+        assert_eq!(
+            faults,
+            vec![ChunkFault {
+                var: "rho".into(),
+                chunk: bad_chunk,
+                kind: FaultKind::BitFlip,
+            }]
+        );
+        // Clean part matches the pristine archive; damaged chunk's cells
+        // are zero-filled. The last chunk covers the [12.., 8.., 8..]
+        // corner of the 4-side grid.
+        let pristine = archive();
+        let pr = ArchiveReader::from_bytes(&pristine).unwrap();
+        let want: NdArray<f32> = pr.read_full("rho").unwrap();
+        for x in 0..13 {
+            for y in 0..11 {
+                for z in 0..9 {
+                    let i = (x * 11 + y) * 9 + z;
+                    let in_bad = x >= 12 && y >= 8 && z >= 8;
+                    if in_bad {
+                        assert_eq!(slab.as_slice()[i], 0.0, "damaged cell ({x},{y},{z})");
+                    } else {
+                        assert_eq!(
+                            slab.as_slice()[i],
+                            want.as_slice()[i],
+                            "clean cell ({x},{y},{z})"
+                        );
+                    }
+                }
+            }
+        }
+
+        // A region that avoids the damaged chunk reads clean with no
+        // faults — byte-identical to the strict path.
+        let safe = Region::new(&[0, 0, 0], &[8, 8, 8]);
+        let (clean, faults): (NdArray<f32>, _) =
+            r.read_region_tolerant("rho", &safe, &mut scratch).unwrap();
+        assert!(faults.is_empty());
+        assert_eq!(
+            clean.as_slice(),
+            r.read_region::<f32>("rho", &safe).unwrap().as_slice()
+        );
+
+        // Structural errors still fail hard.
+        assert!(r
+            .read_region_tolerant::<f32>("nope", &safe, &mut scratch)
+            .is_err());
     }
 
     #[test]

@@ -99,6 +99,54 @@ pub enum Command {
         /// Also verify every chunk checksum.
         verify: bool,
     },
+    /// Run the compression daemon in the foreground. Blocks until a
+    /// SIGTERM/SIGINT or a client `Shutdown` request starts the drain.
+    Serve {
+        /// Listen endpoint (`unix:/path` or `tcp:HOST:PORT`).
+        listen: String,
+        /// Worker threads (`None` = daemon default).
+        workers: Option<usize>,
+        /// Admission queue depth (`None` = daemon default).
+        queue: Option<usize>,
+        /// Default per-request deadline in ms (`None` = daemon default).
+        budget_ms: Option<u64>,
+        /// Persist/prime tuned plans here across restarts.
+        plan_file: Option<String>,
+        /// Serve `RegionRead` requests from under this directory.
+        archive_root: Option<String>,
+    },
+    /// Compress a raw file on a remote daemon.
+    RemoteCompress {
+        /// Daemon endpoint.
+        server: String,
+        /// Input raw file.
+        input: String,
+        /// Output stream file.
+        output: String,
+        /// Array dimensions.
+        dims: Vec<usize>,
+        /// `true` for f64 input, `false` for f32.
+        wide: bool,
+        /// Relative (`true`) or absolute (`false`) bound.
+        relative: bool,
+        /// Bound value.
+        bound: f64,
+        /// Variable name the daemon keys its warm plan cache by.
+        name: String,
+        /// Per-request deadline in ms (0 = server default).
+        budget_ms: u64,
+    },
+    /// Decompress a stream file on a remote daemon.
+    RemoteDecompress {
+        /// Daemon endpoint.
+        server: String,
+        /// Input stream file.
+        input: String,
+        /// Output raw file.
+        output: String,
+        /// Per-request deadline in ms (0 = server default).
+        budget_ms: u64,
+    },
     /// Generate a synthetic dataset.
     Gen {
         /// Dataset name (cesm/miranda/rtm/nyx/hurricane/letkf).
@@ -308,6 +356,56 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             input: require("-i")?.to_string(),
             verify: has_flag("--verify"),
         }),
+        "serve" => {
+            let count_of = |name: &str| -> Result<Option<usize>, CliError> {
+                get_flag(name)
+                    .map(|v| {
+                        v.parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| CliError::usage(format!("bad {name} value '{v}'")))
+                    })
+                    .transpose()
+            };
+            Ok(Command::Serve {
+                listen: require("--listen")?.to_string(),
+                workers: count_of("--workers")?,
+                queue: count_of("--queue")?,
+                budget_ms: count_of("--budget-ms")?.map(|n| n as u64),
+                plan_file: get_flag("--plan-file").map(str::to_string),
+                archive_root: get_flag("--archive-root").map(str::to_string),
+            })
+        }
+        "remote" => {
+            let budget = match get_flag("--budget-ms") {
+                None => 0,
+                Some(v) => v
+                    .parse::<u64>()
+                    .map_err(|_| CliError::usage(format!("bad --budget-ms value '{v}'")))?,
+            };
+            match rest.first().map(|s| s.as_str()) {
+                Some("compress") => Ok(Command::RemoteCompress {
+                    server: require("-s")?.to_string(),
+                    input: require("-i")?.to_string(),
+                    output: require("-o")?.to_string(),
+                    dims: parse_dims(require("-d")?)?,
+                    wide: get_flag("-t").map(|t| t == "f64").unwrap_or(false),
+                    relative: get_flag("-m").map(|m| m != "abs").unwrap_or(true),
+                    bound: bound_of("-e")?,
+                    name: get_flag("--name").unwrap_or("var0").to_string(),
+                    budget_ms: budget,
+                }),
+                Some("decompress") => Ok(Command::RemoteDecompress {
+                    server: require("-s")?.to_string(),
+                    input: require("-i")?.to_string(),
+                    output: require("-o")?.to_string(),
+                    budget_ms: budget,
+                }),
+                _ => Err(CliError::usage(
+                    "remote needs a verb: remote compress|decompress",
+                )),
+            }
+        }
         "gen" => Ok(Command::Gen {
             dataset: require("-D")?.to_string(),
             size: get_flag("-s").unwrap_or("small").to_string(),
@@ -339,6 +437,15 @@ USAGE:
   qoz inspect    -i out.qza [--verify]
   qoz eval       -i in.f32 -r recon.f32 -d 512x512x512 [-t f32|f64]
   qoz gen        -D miranda [-s tiny|small|medium] -o data.f32
+  qoz serve      --listen unix:/tmp/qoz.sock|tcp:HOST:PORT [--workers 2]
+                 [--queue 32] [--budget-ms 30000] [--plan-file PATH]
+                 [--archive-root DIR]
+                 foreground daemon; SIGTERM/SIGINT (or a client Shutdown
+                 request) drains in-flight work and persists tuned plans
+  qoz remote compress   -s ENDPOINT -i in.f32 -o out.qz -d 512x512x512
+                        -e 1e-3 [-m rel|abs] [-t f32|f64] [--name VAR]
+                        [--budget-ms N]
+  qoz remote decompress -s ENDPOINT -i out.qz -o recon.f32 [--budget-ms N]
   qoz help
 ";
 
@@ -605,6 +712,101 @@ mod tests {
                 verify: true
             }
         );
+    }
+
+    #[test]
+    fn parse_serve_and_remote() {
+        let cmd = parse(&sv(&[
+            "serve",
+            "--listen",
+            "unix:/tmp/q.sock",
+            "--workers",
+            "4",
+            "--queue",
+            "8",
+            "--plan-file",
+            "/tmp/q.plans",
+            "--archive-root",
+            "/data",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                listen,
+                workers,
+                queue,
+                budget_ms,
+                plan_file,
+                archive_root,
+            } => {
+                assert_eq!(listen, "unix:/tmp/q.sock");
+                assert_eq!(workers, Some(4));
+                assert_eq!(queue, Some(8));
+                assert_eq!(budget_ms, None, "unset knobs defer to daemon defaults");
+                assert_eq!(plan_file.as_deref(), Some("/tmp/q.plans"));
+                assert_eq!(archive_root.as_deref(), Some("/data"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&sv(&["serve"])).is_err(), "--listen is required");
+        assert!(parse(&sv(&["serve", "--listen", "u:/s", "--workers", "0"])).is_err());
+
+        let cmd = parse(&sv(&[
+            "remote",
+            "compress",
+            "-s",
+            "tcp:127.0.0.1:7070",
+            "-i",
+            "a.f32",
+            "-o",
+            "a.qz",
+            "-d",
+            "8x8",
+            "-e",
+            "1e-3",
+            "--name",
+            "rho",
+            "--budget-ms",
+            "500",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::RemoteCompress {
+                server,
+                name,
+                budget_ms,
+                relative,
+                ..
+            } => {
+                assert_eq!(server, "tcp:127.0.0.1:7070");
+                assert_eq!(name, "rho");
+                assert_eq!(budget_ms, 500);
+                assert!(relative);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert_eq!(
+            parse(&sv(&[
+                "remote",
+                "decompress",
+                "-s",
+                "unix:/s",
+                "-i",
+                "a.qz",
+                "-o",
+                "a.f32"
+            ]))
+            .unwrap(),
+            Command::RemoteDecompress {
+                server: "unix:/s".into(),
+                input: "a.qz".into(),
+                output: "a.f32".into(),
+                budget_ms: 0,
+            }
+        );
+        // A missing or unknown verb is a usage error, not a fallthrough.
+        assert!(parse(&sv(&["remote"])).is_err());
+        assert!(parse(&sv(&["remote", "ping", "-s", "unix:/s"])).is_err());
     }
 
     #[test]

@@ -126,6 +126,38 @@ fn compress_series<T: Scalar>(
     Ok(lines)
 }
 
+/// Map a daemon client failure onto the CLI's exit-code taxonomy, so
+/// `qoz remote …` against a damaged stream exits 3 exactly like the
+/// local commands would.
+fn remote_err(e: qoz_serve::ClientError) -> CliError {
+    use qoz_serve::ErrorCode;
+    match e {
+        qoz_serve::ClientError::Server { code, message } => match code {
+            ErrorCode::CorruptInput => CliError::corrupt(message),
+            ErrorCode::NewerFormat => CliError::newer_format(message),
+            ErrorCode::BadRequest => CliError::usage(message),
+            other => CliError::runtime(format!("server answered {other:?}: {message}")),
+        },
+        other => CliError::runtime(format!("remote call failed: {other}")),
+    }
+}
+
+fn parse_endpoint(s: &str) -> Result<qoz_serve::Endpoint, CliError> {
+    qoz_serve::Endpoint::parse(s).map_err(CliError::usage)
+}
+
+/// Plan-outcome byte from the wire, phrased like the local series
+/// report.
+fn outcome_tag(outcome: u8) -> &'static str {
+    match outcome {
+        1 => "cold tune",
+        2 => "warm",
+        3 => "warm, rescaled",
+        4 => "retuned",
+        _ => "untracked",
+    }
+}
+
 /// Stream into a sibling temp file and rename over `output` on success,
 /// so a mid-write failure never truncates an existing output.
 fn write_atomically<R>(
@@ -299,10 +331,33 @@ pub fn run(cmd: Command) -> Result<Vec<String>, CliError> {
             }
             if verify {
                 let report = r.verify()?;
-                out.push(format!(
-                    "verify        : OK — {} chunks across {} variables, {} payload bytes",
-                    report.chunks, report.vars, report.payload_bytes
-                ));
+                if report.is_clean() {
+                    out.push(format!(
+                        "verify        : OK — {} chunks across {} variables, {} payload bytes",
+                        report.chunks, report.vars, report.payload_bytes
+                    ));
+                } else {
+                    // Emit the full damage map in the error, and fail
+                    // with the corrupt exit code so supervisors can tell
+                    // "archive damaged" from plain I/O trouble.
+                    let mut msg = format!(
+                        "archive {input} failed verification: {} of {} chunks damaged",
+                        report.faults.len(),
+                        report.chunks
+                    );
+                    for f in &report.faults {
+                        msg.push_str(&format!(
+                            "\n  var '{}' chunk {}: {}",
+                            f.var,
+                            f.chunk,
+                            match f.kind {
+                                qoz_archive::FaultKind::Truncated => "truncated",
+                                qoz_archive::FaultKind::BitFlip => "checksum mismatch",
+                            }
+                        ));
+                    }
+                    return Err(CliError::corrupt(msg));
+                }
             }
             Ok(out)
         }
@@ -347,6 +402,118 @@ pub fn run(cmd: Command) -> Result<Vec<String>, CliError> {
                 QualityReport::new(&a, &b)
             };
             Ok(vec![report.to_string()])
+        }
+        Command::Serve {
+            listen,
+            workers,
+            queue,
+            budget_ms,
+            plan_file,
+            archive_root,
+        } => {
+            let mut config = qoz_serve::ServerConfig::new(parse_endpoint(&listen)?);
+            if let Some(n) = workers {
+                config.workers = n;
+            }
+            if let Some(n) = queue {
+                config.queue_depth = n;
+            }
+            if let Some(ms) = budget_ms {
+                config.default_budget = std::time::Duration::from_millis(ms);
+            }
+            config.plan_path = plan_file.map(Into::into);
+            config.archive_root = archive_root.map(Into::into);
+            let server = qoz_serve::Server::start(config)
+                .map_err(|e| CliError::runtime(format!("cannot start daemon: {e}")))?;
+            // The listening line goes to stderr *now*; the stdout lines
+            // this function returns only print after the drain.
+            eprintln!("qoz serve: listening on {}", server.endpoint());
+            qoz_serve::signals::install();
+            loop {
+                if qoz_serve::signals::stop_requested() {
+                    server.begin_shutdown();
+                }
+                if server.is_draining() {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            let stats = server.stats();
+            let persisted = server
+                .shutdown()
+                .map_err(|e| CliError::runtime(format!("failed to persist plans: {e}")))?;
+            Ok(vec![format!(
+                "serve: stopped cleanly; {persisted} tuned plan(s) persisted \
+                 (served {}, shed {}, deadline-missed {}, panics {}, bad frames {})",
+                stats.served,
+                stats.shed,
+                stats.deadline_missed,
+                stats.worker_panics,
+                stats.bad_frames
+            )])
+        }
+        Command::RemoteCompress {
+            server,
+            input,
+            output,
+            dims,
+            wide,
+            relative,
+            bound,
+            name,
+            budget_ms,
+        } => {
+            let shape = Shape::new(&dims);
+            let bound = if relative {
+                ErrorBound::Rel(bound)
+            } else {
+                ErrorBound::Abs(bound)
+            };
+            let mut client = qoz_serve::Client::connect(parse_endpoint(&server)?);
+            let (outcome, blob, raw_bytes) = if wide {
+                let data: NdArray<f64> = rawio::read_raw(&input, shape)?;
+                let (o, b) = client
+                    .compress(&name, &data, bound, budget_ms)
+                    .map_err(remote_err)?;
+                (o, b, data.len() * 8)
+            } else {
+                let data: NdArray<f32> = rawio::read_raw(&input, shape)?;
+                let (o, b) = client
+                    .compress(&name, &data, bound, budget_ms)
+                    .map_err(remote_err)?;
+                (o, b, data.len() * 4)
+            };
+            write_atomically(&output, |sink| {
+                std::io::Write::write_all(sink, &blob)?;
+                Ok(())
+            })?;
+            Ok(vec![format!(
+                "{input} -> {output} via {server}: {raw_bytes} -> {} bytes \
+                 (CR {:.2}x, {})",
+                blob.len(),
+                raw_bytes as f64 / blob.len() as f64,
+                outcome_tag(outcome)
+            )])
+        }
+        Command::RemoteDecompress {
+            server,
+            input,
+            output,
+            budget_ms,
+        } => {
+            let blob = rawio::read_bytes(&input)?;
+            // Scalar width comes from the (local) stream header; the
+            // daemon re-validates it against the blob it receives.
+            let header = qoz_api::peek_header(&blob)?;
+            let mut client = qoz_serve::Client::connect(parse_endpoint(&server)?);
+            if header.scalar_tag == f64::TYPE_TAG {
+                let data: NdArray<f64> = client.decompress(&blob, budget_ms).map_err(remote_err)?;
+                write_atomically(&output, |sink| rawio::write_raw_into(sink, &data))?;
+            } else {
+                let data: NdArray<f32> = client.decompress(&blob, budget_ms).map_err(remote_err)?;
+                write_atomically(&output, |sink| rawio::write_raw_into(sink, &data))?;
+            }
+            Ok(vec![format!("{input} -> {output} via {server}")])
         }
         Command::Gen {
             dataset,
@@ -595,8 +762,80 @@ mod tests {
             "archive",
             "extract",
             "inspect",
+            "serve",
+            "remote",
         ] {
             assert!(out[0].contains(c));
+        }
+    }
+
+    #[test]
+    fn remote_round_trip_through_a_foreground_daemon() {
+        let sock = tmp("remote.sock");
+        let raw = tmp("remote.f32");
+        let qz = tmp("remote.qz");
+        let rec = tmp("remote_rec.f32");
+        run(parse(&sv(&["gen", "-D", "cesm", "-s", "tiny", "-o", &raw])).unwrap()).unwrap();
+
+        // `qoz serve` blocks, so it runs on a thread; a client Shutdown
+        // request ends it.
+        let serve_cmd = parse(&sv(&["serve", "--listen", &sock])).unwrap();
+        let daemon = std::thread::spawn(move || run(serve_cmd));
+        let endpoint = qoz_serve::Endpoint::Unix(sock.clone());
+        let mut probe = qoz_serve::Client::connect(endpoint.clone());
+        probe.ping().expect("daemon comes up");
+
+        let out = run(parse(&sv(&[
+            "remote", "compress", "-s", &sock, "-i", &raw, "-o", &qz, "-d", "64x128", "-e", "1e-3",
+            "--name", "t",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out[0].contains("cold tune"), "{out:?}");
+
+        run(parse(&sv(&[
+            "remote",
+            "decompress",
+            "-s",
+            &sock,
+            "-i",
+            &qz,
+            "-o",
+            &rec,
+        ]))
+        .unwrap())
+        .unwrap();
+        // The remote stream decodes locally too, within bound.
+        let orig: NdArray<f32> = rawio::read_raw(&raw, Shape::d2(64, 128)).unwrap();
+        let recon: NdArray<f32> = rawio::read_raw(&rec, Shape::d2(64, 128)).unwrap();
+        let abs = ErrorBound::Rel(1e-3).absolute(&orig);
+        assert!(orig.max_abs_diff(&recon) <= abs * (1.0 + 1e-9));
+
+        // Remote errors land on the CLI exit-code taxonomy: a damaged
+        // stream is exit 3 (corrupt), same as the local commands.
+        let broken = tmp("remote_broken.qz");
+        let mut blob = std::fs::read(&qz).unwrap();
+        blob.truncate(blob.len() / 2);
+        std::fs::write(&broken, &blob).unwrap();
+        let err = run(parse(&sv(&[
+            "remote",
+            "decompress",
+            "-s",
+            &sock,
+            "-i",
+            &broken,
+            "-o",
+            &rec,
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert_eq!(err.code, 3, "{err}");
+
+        probe.shutdown().unwrap();
+        let lines = daemon.join().unwrap().unwrap();
+        assert!(lines[0].contains("stopped cleanly"), "{lines:?}");
+        for f in [&raw, &qz, &rec, &broken] {
+            std::fs::remove_file(f).ok();
         }
     }
 

@@ -14,6 +14,24 @@ pub mod rawio;
 pub use args::{parse_coords, parse_dims, Command};
 pub use commands::run;
 
+/// Exit codes the `qoz` binary maps typed failures onto, so scripts and
+/// a daemon supervisor can react to *why* a command failed instead of
+/// pattern-matching stderr. `0` remains success, `1` the catch-all.
+pub mod exit_code {
+    /// Generic runtime failure (plain I/O errors and anything
+    /// uncategorized).
+    pub const RUNTIME: i32 = 1;
+    /// Bad arguments or misconfigured flags.
+    pub const USAGE: i32 = 2;
+    /// Input data is damaged: checksum mismatch, truncation, or a
+    /// structurally invalid stream. Retrying won't help; restoring the
+    /// input might.
+    pub const CORRUPT: i32 = 3;
+    /// Input was written by a newer format version than this build
+    /// reads. The data is probably fine — upgrade the tool.
+    pub const NEWER_FORMAT: i32 = 4;
+}
+
 /// CLI error type: message + suggested exit code.
 #[derive(Debug)]
 pub struct CliError {
@@ -28,14 +46,32 @@ impl CliError {
     pub fn usage(msg: impl Into<String>) -> Self {
         CliError {
             message: msg.into(),
-            code: 2,
+            code: exit_code::USAGE,
         }
     }
     /// Runtime failure (exit 1).
     pub fn runtime(msg: impl Into<String>) -> Self {
         CliError {
             message: msg.into(),
-            code: 1,
+            code: exit_code::RUNTIME,
+        }
+    }
+    /// Damaged-input failure (exit 3).
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        CliError {
+            message: msg.into(),
+            code: exit_code::CORRUPT,
+        }
+    }
+    /// Newer-format failure (exit 4), with the upgrade hint appended.
+    pub fn newer_format(msg: impl Into<String>) -> Self {
+        CliError {
+            message: format!(
+                "{} (hint: this input needs a newer build of qoz; it is \
+                 probably not corrupt)",
+                msg.into()
+            ),
+            code: exit_code::NEWER_FORMAT,
         }
     }
 }
@@ -69,12 +105,37 @@ impl From<qoz_api::ApiError> for CliError {
 
 impl From<qoz_codec::CodecError> for CliError {
     fn from(e: qoz_codec::CodecError) -> Self {
-        CliError::runtime(format!("codec error: {e}"))
+        use qoz_codec::CodecError as E;
+        let msg = format!("codec error: {e}");
+        match e {
+            _ if e.is_newer_format() => CliError::newer_format(msg),
+            E::UnexpectedEof | E::Corrupt(_) | E::BadVersion { .. } => CliError::corrupt(msg),
+            E::Io(_) => CliError::runtime(msg),
+        }
     }
 }
 
 impl From<qoz_archive::ArchiveError> for CliError {
     fn from(e: qoz_archive::ArchiveError) -> Self {
-        CliError::runtime(format!("archive error: {e}"))
+        use qoz_archive::ArchiveError as E;
+        let msg = format!("archive error: {e}");
+        match &e {
+            _ if e.is_newer_format() => CliError::newer_format(msg),
+            E::Truncated
+            | E::BadMagic
+            | E::Corrupt(_)
+            | E::ChecksumMismatch { .. }
+            // An *older*-than-released version byte reaches here as
+            // BadVersion/NewerFormat with found < supported: corruption.
+            | E::NewerFormat { .. }
+            | E::Codec(qoz_codec::CodecError::UnexpectedEof)
+            | E::Codec(qoz_codec::CodecError::Corrupt(_))
+            | E::Codec(qoz_codec::CodecError::BadVersion { .. }) => CliError::corrupt(msg),
+            E::UnknownVariable(_)
+            | E::DuplicateVariable(_)
+            | E::TypeMismatch { .. }
+            | E::RegionOutOfBounds => CliError::usage(msg),
+            E::Io(_) | E::Codec(qoz_codec::CodecError::Io(_)) => CliError::runtime(msg),
+        }
     }
 }

@@ -47,7 +47,10 @@ pub use fixed_quality::{
     compress_codec_to_quality, compress_codec_to_ratio, FixedQualityResult, QualityTarget,
     TargetOutcome,
 };
-pub use pipeline::{PlanCache, PlanOutcome};
+pub use pipeline::{
+    decode_snapshots, encode_snapshots, PlanCache, PlanOutcome, PlanSnapshot, PLAN_FILE_MAGIC,
+    PLAN_FILE_VERSION,
+};
 
 use qoz_codec::stream::{Compressor, CompressorId, ErrorBound, Header};
 use qoz_codec::{ByteReader, LinearQuantizer, Result, Scratch};
@@ -58,7 +61,7 @@ use qoz_tensor::{sample_blocks, NdArray, SamplePlan, Scalar};
 
 /// The tuned plan a compression run settled on — exposed for inspection,
 /// benchmarking (Fig. 12/13) and reproducibility.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QozPlan {
     /// Resolved absolute error bound.
     pub abs_eb: f64,

@@ -39,6 +39,8 @@
 use crate::config::level_error_bounds;
 use crate::{Qoz, QozPlan};
 use qoz_codec::stream::ErrorBound;
+use qoz_codec::{ByteReader, ByteWriter, CodecError};
+use qoz_predict::{DimOrder, InterpKind, LevelConfig};
 use qoz_sz3::{compress_with_spec_into, InterpSpec};
 use qoz_tensor::{sample_blocks, NdArray, SamplePlan, Scalar, Shape};
 
@@ -80,6 +82,31 @@ struct CachedPlan {
     /// Sampled mean absolute prediction error at tuning time — the
     /// drift reference.
     ref_pred_err: f64,
+}
+
+/// A portable copy of one cache entry: everything needed to re-seed a
+/// [`PlanCache`] in another process so its first call replays the plan
+/// warm instead of re-tuning — the `qoz-serve` warm-restart path.
+///
+/// Snapshots serialize with [`PlanSnapshot::encode`] /
+/// [`PlanSnapshot::decode`]; whole collections (one file next to the
+/// served archives) go through [`encode_snapshots`] /
+/// [`decode_snapshots`]. The drift reference travels with the plan, so
+/// a restarted daemon applies the same reuse policy as a resident one:
+/// drifted data still retunes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanSnapshot {
+    /// Shape the plan was tuned for.
+    pub shape: Shape,
+    /// Element type the plan was tuned for (`Scalar::TYPE_TAG`).
+    pub scalar_tag: u8,
+    /// Bound *specification* (not the resolved absolute value) the plan
+    /// answers — part of the cache key.
+    pub bound: ErrorBound,
+    /// The tuned plan itself.
+    pub plan: QozPlan,
+    /// Sampled mean absolute prediction error at tuning time.
+    pub ref_pred_err: f64,
 }
 
 /// Caches the last tuned [`QozPlan`] for reuse across same-shape,
@@ -131,6 +158,32 @@ impl PlanCache {
     /// Drop the cached plan; the next call tunes from scratch.
     pub fn invalidate(&mut self) {
         self.entry = None;
+    }
+
+    /// A portable copy of the cache entry, for persistence (`None` when
+    /// the cache is cold).
+    pub fn snapshot(&self) -> Option<PlanSnapshot> {
+        self.entry.as_ref().map(|e| PlanSnapshot {
+            shape: e.shape,
+            scalar_tag: e.scalar_tag,
+            bound: e.bound,
+            plan: e.plan.clone(),
+            ref_pred_err: e.ref_pred_err,
+        })
+    }
+
+    /// Seed the cache from a persisted snapshot, replacing any current
+    /// entry. The next [`Qoz::plan_cached`] call whose key matches and
+    /// whose data passes the drift check replays the seeded plan warm —
+    /// this is how a restarted `qoz-serve` skips its first cold tune.
+    pub fn seed(&mut self, snap: PlanSnapshot) {
+        self.entry = Some(CachedPlan {
+            shape: snap.shape,
+            scalar_tag: snap.scalar_tag,
+            bound: snap.bound,
+            plan: snap.plan,
+            ref_pred_err: snap.ref_pred_err,
+        });
     }
 }
 
@@ -215,6 +268,234 @@ impl Qoz {
         });
         (plan, outcome)
     }
+}
+
+// ---------------------------------------------------------------------------
+// Plan persistence: PlanSnapshot <-> bytes.
+// ---------------------------------------------------------------------------
+
+/// Magic prefix of a persisted plan-snapshot file ("QZPL").
+pub const PLAN_FILE_MAGIC: [u8; 4] = *b"QZPL";
+/// Current plan-snapshot serialization version.
+pub const PLAN_FILE_VERSION: u8 = 1;
+/// Sanity cap on levels in a decoded plan (real plans have < 10).
+const MAX_PLAN_LEVELS: u64 = 64;
+
+fn encode_bound(w: &mut ByteWriter, bound: ErrorBound) {
+    match bound {
+        ErrorBound::Abs(v) => {
+            w.put_u8(0);
+            w.put_f64(v);
+        }
+        ErrorBound::Rel(v) => {
+            w.put_u8(1);
+            w.put_f64(v);
+        }
+    }
+}
+
+fn decode_bound(r: &mut ByteReader) -> qoz_codec::Result<ErrorBound> {
+    let kind = r.get_u8()?;
+    let v = r.get_f64()?;
+    let bound = match kind {
+        0 => ErrorBound::Abs(v),
+        1 => ErrorBound::Rel(v),
+        _ => return Err(CodecError::Corrupt("bad bound kind in plan snapshot")),
+    };
+    if !bound.is_valid() {
+        return Err(CodecError::Corrupt("bad bound value in plan snapshot"));
+    }
+    Ok(bound)
+}
+
+impl PlanSnapshot {
+    /// Serialize one snapshot (key + plan + drift reference).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u8(self.scalar_tag);
+        w.put_u8(self.shape.ndim() as u8);
+        for &d in self.shape.dims() {
+            w.put_varint(d as u64);
+        }
+        encode_bound(&mut w, self.bound);
+        w.put_f64(self.ref_pred_err);
+        w.put_f64(self.plan.abs_eb);
+        w.put_f64(self.plan.alpha);
+        w.put_f64(self.plan.beta);
+        let spec = &self.plan.spec;
+        match spec.anchor_stride {
+            None => w.put_u8(0),
+            Some(s) => {
+                w.put_u8(1);
+                w.put_varint(s as u64);
+            }
+        }
+        w.put_varint(spec.max_level as u64);
+        w.put_varint(spec.level_configs.len() as u64);
+        for cfg in &spec.level_configs {
+            w.put_u8(match cfg.kind {
+                InterpKind::Linear => 0,
+                InterpKind::Cubic => 1,
+                InterpKind::Quadratic => 2,
+            });
+            w.put_u8(match cfg.order {
+                DimOrder::Ascending => 0,
+                DimOrder::Descending => 1,
+            });
+        }
+        w.put_varint(spec.level_ebs.len() as u64);
+        for &eb in &spec.level_ebs {
+            w.put_f64(eb);
+        }
+        w.put_varint(spec.quant_radius as u64);
+        w.finish()
+    }
+
+    /// Parse one snapshot. Every field is validated — a persisted plan
+    /// file is ordinary mutable state on disk, so a corrupt or
+    /// hand-edited entry must surface as [`CodecError::Corrupt`], never
+    /// as a panic (or a plan that violates the bound contract) later.
+    pub fn decode(bytes: &[u8]) -> qoz_codec::Result<PlanSnapshot> {
+        let mut r = ByteReader::new(bytes);
+        let scalar_tag = r.get_u8()?;
+        let ndim = r.get_u8()? as usize;
+        if ndim == 0 || ndim > qoz_tensor::MAX_NDIM {
+            return Err(CodecError::Corrupt("bad rank in plan snapshot"));
+        }
+        let mut dims = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            let d = r.get_varint()? as usize;
+            if d == 0 || d > (1 << 32) {
+                return Err(CodecError::Corrupt("bad dimension in plan snapshot"));
+            }
+            dims.push(d);
+        }
+        let bound = decode_bound(&mut r)?;
+        let ref_pred_err = r.get_f64()?;
+        if !(ref_pred_err.is_finite() && ref_pred_err >= 0.0) {
+            return Err(CodecError::Corrupt("bad drift reference in plan snapshot"));
+        }
+        let abs_eb = r.get_f64()?;
+        if !(abs_eb.is_finite() && abs_eb > 0.0) {
+            return Err(CodecError::Corrupt("bad absolute bound in plan snapshot"));
+        }
+        let alpha = r.get_f64()?;
+        let beta = r.get_f64()?;
+        if !(alpha.is_finite() && alpha > 0.0 && beta.is_finite() && beta > 0.0) {
+            return Err(CodecError::Corrupt("bad (alpha, beta) in plan snapshot"));
+        }
+        let anchor_stride = match r.get_u8()? {
+            0 => None,
+            1 => {
+                let s = r.get_varint()?;
+                if !(1..=u32::MAX as u64).contains(&s) {
+                    return Err(CodecError::Corrupt("bad anchor stride in plan snapshot"));
+                }
+                Some(s as u32)
+            }
+            _ => return Err(CodecError::Corrupt("bad anchor flag in plan snapshot")),
+        };
+        let max_level = r.get_varint()?;
+        if max_level == 0 || max_level > MAX_PLAN_LEVELS {
+            return Err(CodecError::Corrupt("bad level count in plan snapshot"));
+        }
+        let n_configs = r.get_varint()?;
+        if n_configs == 0 || n_configs > MAX_PLAN_LEVELS {
+            return Err(CodecError::Corrupt("bad config count in plan snapshot"));
+        }
+        let mut level_configs = Vec::with_capacity(n_configs as usize);
+        for _ in 0..n_configs {
+            let kind = match r.get_u8()? {
+                0 => InterpKind::Linear,
+                1 => InterpKind::Cubic,
+                2 => InterpKind::Quadratic,
+                _ => return Err(CodecError::Corrupt("bad interp kind in plan snapshot")),
+            };
+            let order = match r.get_u8()? {
+                0 => DimOrder::Ascending,
+                1 => DimOrder::Descending,
+                _ => return Err(CodecError::Corrupt("bad dim order in plan snapshot")),
+            };
+            level_configs.push(LevelConfig { kind, order });
+        }
+        let n_ebs = r.get_varint()?;
+        if n_ebs == 0 || n_ebs > MAX_PLAN_LEVELS {
+            return Err(CodecError::Corrupt("bad bound count in plan snapshot"));
+        }
+        let mut level_ebs = Vec::with_capacity(n_ebs as usize);
+        for _ in 0..n_ebs {
+            let eb = r.get_f64()?;
+            if !(eb.is_finite() && eb > 0.0) {
+                return Err(CodecError::Corrupt("bad level bound in plan snapshot"));
+            }
+            level_ebs.push(eb);
+        }
+        let quant_radius = r.get_varint()?;
+        if quant_radius == 0 || quant_radius > u32::MAX as u64 {
+            return Err(CodecError::Corrupt("bad quantizer radius in plan snapshot"));
+        }
+        if r.remaining() != 0 {
+            return Err(CodecError::Corrupt("trailing bytes in plan snapshot"));
+        }
+        Ok(PlanSnapshot {
+            shape: Shape::new(&dims),
+            scalar_tag,
+            bound,
+            plan: QozPlan {
+                abs_eb,
+                alpha,
+                beta,
+                spec: InterpSpec {
+                    anchor_stride,
+                    max_level: max_level as u32,
+                    level_configs,
+                    level_ebs,
+                    quant_radius: quant_radius as u32,
+                },
+            },
+            ref_pred_err,
+        })
+    }
+}
+
+/// Serialize a collection of snapshots into one self-describing blob
+/// (the `qoz-serve` plan file persisted next to served archives).
+pub fn encode_snapshots(snaps: &[PlanSnapshot]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_bytes(&PLAN_FILE_MAGIC);
+    w.put_u8(PLAN_FILE_VERSION);
+    w.put_varint(snaps.len() as u64);
+    for snap in snaps {
+        w.put_len_prefixed(&snap.encode());
+    }
+    w.finish()
+}
+
+/// Parse a blob written by [`encode_snapshots`].
+pub fn decode_snapshots(bytes: &[u8]) -> qoz_codec::Result<Vec<PlanSnapshot>> {
+    let mut r = ByteReader::new(bytes);
+    if r.get_bytes(4)? != PLAN_FILE_MAGIC {
+        return Err(CodecError::Corrupt("not a plan snapshot file"));
+    }
+    let version = r.get_u8()?;
+    if version != PLAN_FILE_VERSION {
+        return Err(CodecError::BadVersion {
+            found: version,
+            supported: PLAN_FILE_VERSION,
+        });
+    }
+    let count = r.get_varint()?;
+    if count > bytes.len() as u64 {
+        return Err(CodecError::Corrupt("implausible snapshot count"));
+    }
+    let mut snaps = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        snaps.push(PlanSnapshot::decode(r.get_len_prefixed()?)?);
+    }
+    if r.remaining() != 0 {
+        return Err(CodecError::Corrupt("trailing bytes in plan snapshot file"));
+    }
+    Ok(snaps)
 }
 
 #[cfg(test)]
@@ -347,5 +628,93 @@ mod tests {
         assert!(cache.cached_plan().is_none());
         let (_, o) = qoz.plan_cached(&data, bound, &mut cache);
         assert_eq!(o, PlanOutcome::ColdTuned);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_bytes() {
+        let data = Dataset::Miranda.generate(SizeClass::Tiny, 0);
+        let qoz = Qoz::default();
+        let mut cache = PlanCache::default();
+        qoz.plan_cached(&data, ErrorBound::Rel(1e-3), &mut cache);
+        let snap = cache.snapshot().expect("tuned cache has a snapshot");
+        let decoded = PlanSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+        let blob = encode_snapshots(&[snap.clone(), decoded]);
+        let snaps = decode_snapshots(&blob).unwrap();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0], snap);
+        assert_eq!(snaps[1], snap);
+        // Empty collections roundtrip too (a daemon that never tuned).
+        assert!(decode_snapshots(&encode_snapshots(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn seeded_cache_replays_warm_and_respects_drift() {
+        let data = Dataset::Nyx.generate(SizeClass::Tiny, 0);
+        let qoz = Qoz::default();
+        let bound = ErrorBound::Rel(1e-3);
+        let mut cache = PlanCache::default();
+        let (cold_plan, _) = qoz.plan_cached(&data, bound, &mut cache);
+        let snap = cache.snapshot().unwrap();
+
+        // A fresh cache seeded from the snapshot serves its first call
+        // warm, with the same plan the resident cache would replay.
+        let mut restarted = PlanCache::default();
+        restarted.seed(PlanSnapshot::decode(&snap.encode()).unwrap());
+        let (plan, outcome) = qoz.plan_cached(&data, bound, &mut restarted);
+        assert_eq!(outcome, PlanOutcome::WarmHit);
+        assert_eq!(plan, cold_plan);
+
+        // But drifted data still retunes: the reference travels along.
+        let drifted: Vec<f32> = data.as_slice().iter().map(|v| v * v + 7.0).collect();
+        let drifted = NdArray::from_vec(data.shape(), drifted);
+        let mut restarted = PlanCache::default();
+        restarted.seed(snap);
+        let (_, outcome) = qoz.plan_cached(&drifted, bound, &mut restarted);
+        assert_eq!(outcome, PlanOutcome::Retuned);
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected_not_panicked() {
+        let data = Dataset::CesmAtm.generate(SizeClass::Tiny, 0);
+        let qoz = Qoz::default();
+        let mut cache = PlanCache::default();
+        qoz.plan_cached(&data, ErrorBound::Abs(1e-3), &mut cache);
+        let snap = cache.snapshot().unwrap();
+        let good = snap.encode();
+
+        // Truncation at every prefix length must error, never panic.
+        for n in 0..good.len() {
+            assert!(PlanSnapshot::decode(&good[..n]).is_err(), "prefix {n}");
+        }
+        // Trailing garbage is rejected.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(PlanSnapshot::decode(&long).is_err());
+        // Single-byte corruption either still parses (payload bytes of a
+        // float) or errors — decode must stay total either way.
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0xff;
+            let _ = PlanSnapshot::decode(&bad);
+        }
+
+        // File-level rejections: bad magic, newer version, bogus count.
+        let file = encode_snapshots(&[snap]);
+        let mut bad_magic = file.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(decode_snapshots(&bad_magic).is_err());
+        let mut newer = file.clone();
+        newer[4] = PLAN_FILE_VERSION + 1;
+        match decode_snapshots(&newer) {
+            Err(CodecError::BadVersion { found, supported }) => {
+                assert_eq!(found, PLAN_FILE_VERSION + 1);
+                assert_eq!(supported, PLAN_FILE_VERSION);
+            }
+            other => panic!("expected BadVersion, got {other:?}"),
+        }
+        for n in 0..file.len() {
+            assert!(decode_snapshots(&file[..n]).is_err(), "prefix {n}");
+        }
     }
 }

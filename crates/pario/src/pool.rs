@@ -1,0 +1,372 @@
+//! A bounded-admission worker pool with panic replacement.
+//!
+//! The chunk helpers in [`crate::parallel`] fan a *known* batch of work
+//! over scoped threads and join; a long-running service has the opposite
+//! shape: an unbounded stream of jobs arriving faster or slower than the
+//! workers drain them. This module provides the two primitives that
+//! shape needs, built only on `std`:
+//!
+//! * [`BoundedQueue`] — a closeable MPMC queue whose producer side
+//!   **never blocks**: [`BoundedQueue::try_push`] hands the job back
+//!   when the queue is full, so callers shed load explicitly instead of
+//!   queueing unbounded memory behind a slow consumer.
+//! * [`WorkerPool`] — N resident workers, each owning private mutable
+//!   state built by a factory (a compression pipeline, a scratch arena —
+//!   anything `!Sync`). A job handler that panics takes only its worker
+//!   with it: the pool spawns a **fresh replacement** (with fresh state,
+//!   since the old state may be mid-mutation) and keeps serving. The
+//!   pool itself never propagates a panic.
+//!
+//! Jobs that need a reply should carry their own response channel; if a
+//! handler panics before replying, it is the *caller's* contract to
+//! catch that first (reply, then resume the panic so the pool still
+//! replaces the worker) or to time out on the reply channel.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A closeable bounded MPMC queue: non-blocking producers, blocking
+/// consumers.
+#[derive(Debug)]
+pub struct BoundedQueue<J> {
+    inner: Mutex<QueueInner<J>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct QueueInner<J> {
+    items: VecDeque<J>,
+    closed: bool,
+}
+
+impl<J> BoundedQueue<J> {
+    /// Create a queue admitting at most `capacity` pending jobs.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admit `job`, or hand it back: `Err` carries the rejected job when
+    /// the queue is full (shed it) or closed (shutting down). Never
+    /// blocks — this is the load-shedding edge.
+    pub fn try_push(&self, job: J) -> Result<(), J> {
+        let mut q = self.inner.lock().expect("queue lock poisoned");
+        if q.closed || q.items.len() >= self.capacity {
+            return Err(job);
+        }
+        q.items.push_back(job);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Block until a job is available (`Some`) or the queue is closed
+    /// *and* drained (`None` — the consumer's signal to exit).
+    pub fn pop(&self) -> Option<J> {
+        let mut q = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(job) = q.items.pop_front() {
+                return Some(job);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.ready.wait(q).expect("queue lock poisoned");
+        }
+    }
+
+    /// Jobs currently waiting (racy by nature; for draining/metrics).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// `true` when no jobs are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Close the queue: producers get their jobs back, consumers drain
+    /// what's left and then see `None`.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// A fixed-size pool of workers over a [`BoundedQueue`], with per-worker
+/// state and panic replacement.
+pub struct WorkerPool<J: Send + 'static> {
+    queue: Arc<BoundedQueue<J>>,
+    shared: Arc<PoolShared<J>>,
+}
+
+struct PoolShared<J> {
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    replaced: AtomicU64,
+    factory_and_handler: FactoryHandler<J>,
+}
+
+struct FactoryHandler<J> {
+    factory: Box<dyn Fn() -> Box<dyn FnMut(J) + Send> + Send + Sync>,
+}
+
+impl<J: Send + 'static> WorkerPool<J> {
+    /// Spawn `workers` threads. `factory` runs once per worker (and once
+    /// per replacement) and returns that worker's job handler, closing
+    /// over whatever private state the worker owns.
+    pub fn new<F, H>(workers: usize, capacity: usize, factory: F) -> Self
+    where
+        F: Fn() -> H + Send + Sync + 'static,
+        H: FnMut(J) + Send + 'static,
+    {
+        assert!(workers > 0, "pool needs at least one worker");
+        let queue = Arc::new(BoundedQueue::new(capacity));
+        let shared = Arc::new(PoolShared {
+            handles: Mutex::new(Vec::with_capacity(workers)),
+            replaced: AtomicU64::new(0),
+            factory_and_handler: FactoryHandler {
+                factory: Box::new(move || Box::new(factory())),
+            },
+        });
+        let pool = WorkerPool { queue, shared };
+        for _ in 0..workers {
+            pool.spawn_worker();
+        }
+        pool
+    }
+
+    fn spawn_worker(&self) {
+        let queue = Arc::clone(&self.queue);
+        let shared = Arc::clone(&self.shared);
+        let handle = std::thread::spawn(move || run_worker(queue, shared));
+        self.shared
+            .handles
+            .lock()
+            .expect("pool handles lock poisoned")
+            .push(handle);
+    }
+
+    /// The pool's admission queue (share it with producers).
+    pub fn queue(&self) -> Arc<BoundedQueue<J>> {
+        Arc::clone(&self.queue)
+    }
+
+    /// Workers replaced after a handler panic so far.
+    pub fn workers_replaced(&self) -> u64 {
+        self.shared.replaced.load(Ordering::Relaxed)
+    }
+
+    /// Close the queue, let workers drain it, and join them all —
+    /// including replacements spawned during the drain.
+    pub fn shutdown(self) {
+        self.queue.close();
+        // Replacement workers push their handles while we join, so drain
+        // the vec until it stays empty.
+        loop {
+            let batch: Vec<_> = {
+                let mut h = self
+                    .shared
+                    .handles
+                    .lock()
+                    .expect("pool handles lock poisoned");
+                std::mem::take(&mut *h)
+            };
+            if batch.is_empty() {
+                break;
+            }
+            for handle in batch {
+                // A worker that panicked outside the handler guard (it
+                // can't — but belt and suspenders) must not poison
+                // shutdown.
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl<J: Send + 'static> std::fmt::Debug for WorkerPool<J> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("pending", &self.queue.len())
+            .field("replaced", &self.workers_replaced())
+            .finish()
+    }
+}
+
+fn run_worker<J: Send + 'static>(queue: Arc<BoundedQueue<J>>, shared: Arc<PoolShared<J>>) {
+    let mut handler = (shared.factory_and_handler.factory)();
+    while let Some(job) = queue.pop() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| handler(job)));
+        if outcome.is_err() {
+            // This worker's state may be mid-mutation: discard it and
+            // hand the queue to a fresh replacement. The pool never
+            // loses capacity to a poison job.
+            shared.replaced.fetch_add(1, Ordering::Relaxed);
+            let q = Arc::clone(&queue);
+            let s = Arc::clone(&shared);
+            let handle = std::thread::spawn(move || run_worker(q, s));
+            shared
+                .handles
+                .lock()
+                .expect("pool handles lock poisoned")
+                .push(handle);
+            return;
+        }
+    }
+}
+
+/// Spin-wait (with a yield) until `done` returns true or `timeout`
+/// elapses; returns whether the condition was met. The drain loop of a
+/// graceful shutdown: cheap, dependency-free, and precise enough for
+/// second-scale deadlines.
+pub fn wait_until(timeout: Duration, mut done: impl FnMut() -> bool) -> bool {
+    let start = std::time::Instant::now();
+    while !done() {
+        if start.elapsed() >= timeout {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+
+    #[test]
+    fn try_push_sheds_when_full_and_when_closed() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3), "full queue hands the job back");
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(4).is_ok());
+        q.close();
+        assert_eq!(q.try_push(5), Err(5), "closed queue rejects");
+        // Drain continues after close...
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(4));
+        // ...then consumers see the end.
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pool_processes_all_jobs_across_workers() {
+        let sum = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let sum = Arc::clone(&sum);
+            WorkerPool::new(4, 64, move || {
+                let sum = Arc::clone(&sum);
+                move |j: usize| {
+                    sum.fetch_add(j, Ordering::Relaxed);
+                }
+            })
+        };
+        let q = pool.queue();
+        let mut pushed = 0usize;
+        for j in 1..=50 {
+            // Bounded admission: retry politely instead of asserting the
+            // racy instantaneous fill level.
+            let mut job = j;
+            loop {
+                match q.try_push(job) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        job = back;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            pushed += j;
+        }
+        pool.shutdown();
+        assert_eq!(sum.load(Ordering::Relaxed), pushed);
+    }
+
+    #[test]
+    fn panicking_job_replaces_worker_and_pool_keeps_serving() {
+        let (tx, rx) = mpsc::channel::<u32>();
+        let tx = Arc::new(Mutex::new(tx));
+        let pool = {
+            let tx = Arc::clone(&tx);
+            WorkerPool::new(1, 16, move || {
+                let tx = Arc::clone(&tx);
+                move |j: u32| {
+                    if j == 13 {
+                        panic!("poison job");
+                    }
+                    tx.lock().unwrap().send(j).unwrap();
+                }
+            })
+        };
+        let q = pool.queue();
+        q.try_push(1).unwrap();
+        q.try_push(13).unwrap(); // kills the only worker
+        q.try_push(2).unwrap(); // must still be served, by the
+                                // replacement
+        let mut got = vec![
+            rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+            rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+        ];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+        assert_eq!(pool.workers_replaced(), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn per_worker_state_is_private_and_rebuilt_after_panic() {
+        // Each worker counts its own served jobs in captured state; a
+        // panic discards the count with the worker.
+        let built = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let built = Arc::clone(&built);
+            WorkerPool::new(2, 16, move || {
+                built.fetch_add(1, Ordering::Relaxed);
+                let mut served = 0usize;
+                move |j: u32| {
+                    served += 1;
+                    assert!(served < 1000);
+                    if j == 99 {
+                        panic!("die");
+                    }
+                }
+            })
+        };
+        let q = pool.queue();
+        for j in 0..8 {
+            while q.try_push(j).is_err() {
+                std::thread::yield_now();
+            }
+        }
+        while q.try_push(99).is_err() {
+            std::thread::yield_now();
+        }
+        // Wait for the replacement to come up before shutting down.
+        assert!(wait_until(Duration::from_secs(10), || built
+            .load(Ordering::Relaxed)
+            == 3));
+        pool.shutdown();
+        assert_eq!(built.load(Ordering::Relaxed), 3, "2 original + 1 rebuilt");
+    }
+
+    #[test]
+    fn wait_until_times_out() {
+        assert!(!wait_until(Duration::from_millis(10), || false));
+        assert!(wait_until(Duration::from_secs(1), || true));
+    }
+}

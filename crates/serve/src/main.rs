@@ -1,0 +1,142 @@
+//! `qoz-serve` — run the compression daemon from the command line.
+//!
+//! ```text
+//! qoz-serve --listen unix:/tmp/qoz.sock --plan-file /tmp/qoz.plans
+//! qoz-serve --listen tcp:127.0.0.1:7070 --workers 4 --archive-root /data
+//! ```
+//!
+//! SIGTERM and SIGINT trigger the graceful path: drain in-flight
+//! requests, reject new ones with `ShuttingDown`, persist tuned plans,
+//! exit 0. Exit codes follow the CLI convention: 1 runtime, 2 usage.
+
+use qoz_serve::{signals, Endpoint, Server, ServerConfig, StatsSnapshot};
+use std::time::Duration;
+
+const USAGE: &str = "\
+qoz-serve: fault-tolerant compression daemon
+
+USAGE:
+    qoz-serve --listen <ENDPOINT> [OPTIONS]
+
+ENDPOINT:
+    unix:/path/to.sock | tcp:HOST:PORT (a bare /path means unix)
+
+OPTIONS:
+    --workers <N>          worker threads                    [default: 2]
+    --queue <N>            admission queue depth             [default: 32]
+    --budget-ms <N>        default per-request deadline      [default: 30000]
+    --plan-file <PATH>     persist/prime tuned plans here
+    --archive-root <DIR>   serve region reads from this directory
+    --max-frame <BYTES>    reject larger request frames      [default: 256 MiB]
+    --worker-delay-ms <N>  artificial service time (testing) [default: 0]
+    -h, --help             show this help
+";
+
+fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut endpoint: Option<Endpoint> = None;
+    // Flags may appear in any order relative to --listen, so value
+    // flags are staged and applied once the config exists.
+    let mut staged: Vec<(String, String)> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Err(String::new()),
+            "--listen" => {
+                let v = it.next().ok_or("--listen needs an endpoint")?;
+                endpoint = Some(Endpoint::parse(v)?);
+            }
+            flag @ ("--workers" | "--queue" | "--budget-ms" | "--max-frame"
+            | "--worker-delay-ms" | "--plan-file" | "--archive-root") => {
+                let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+                staged.push((flag.to_string(), v.clone()));
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    let endpoint = endpoint.ok_or("--listen is required")?;
+    let mut cfg = ServerConfig::new(endpoint);
+    for (flag, v) in staged {
+        let num = || -> Result<u64, String> {
+            v.parse::<u64>()
+                .map_err(|_| format!("{flag} wants a number, got '{v}'"))
+        };
+        match flag.as_str() {
+            "--workers" => cfg.workers = num()?.max(1) as usize,
+            "--queue" => cfg.queue_depth = num()?.max(1) as usize,
+            "--budget-ms" => cfg.default_budget = Duration::from_millis(num()?.max(1)),
+            "--max-frame" => cfg.max_frame = num()? as usize,
+            "--worker-delay-ms" => cfg.worker_delay = Duration::from_millis(num()?),
+            "--plan-file" => cfg.plan_path = Some(v.into()),
+            "--archive-root" => cfg.archive_root = Some(v.into()),
+            _ => unreachable!("staged flags are pre-filtered"),
+        }
+    }
+    Ok(cfg)
+}
+
+fn print_stats(s: &StatsSnapshot) {
+    eprintln!(
+        "qoz-serve: served {} | shed {} | deadline-missed {} | panics {} | bad frames {} | warm {} | cold {} | drain-rejects {}",
+        s.served,
+        s.shed,
+        s.deadline_missed,
+        s.worker_panics,
+        s.bad_frames,
+        s.warm_hits,
+        s.cold_tunes,
+        s.shutdown_rejects
+    );
+}
+
+fn run() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(c) => c,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            return 0;
+        }
+        Err(msg) => {
+            eprintln!("qoz-serve: {msg}");
+            eprintln!("{USAGE}");
+            return 2;
+        }
+    };
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("qoz-serve: cannot start: {e}");
+            return 1;
+        }
+    };
+    signals::install();
+    eprintln!("qoz-serve: listening on {}", server.endpoint());
+    // Park until a signal or a Shutdown request flips the drain flag.
+    loop {
+        if signals::stop_requested() {
+            server.begin_shutdown();
+        }
+        if server.is_draining() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("qoz-serve: draining…");
+    let stats = server.stats();
+    match server.shutdown() {
+        Ok(n) => {
+            print_stats(&stats);
+            eprintln!("qoz-serve: stopped cleanly; {n} tuned plan(s) persisted");
+            0
+        }
+        Err(e) => {
+            print_stats(&stats);
+            eprintln!("qoz-serve: failed to persist plans: {e}");
+            1
+        }
+    }
+}
+
+fn main() {
+    std::process::exit(run());
+}

@@ -46,6 +46,7 @@ pub use qoz_metrics as metrics;
 pub use qoz_mgard as mgard;
 pub use qoz_pario as pario;
 pub use qoz_predict as predict;
+pub use qoz_serve as serve;
 pub use qoz_sz2 as sz2;
 pub use qoz_sz3 as sz3;
 pub use qoz_tensor as tensor;

@@ -184,9 +184,15 @@ fn payload_bitflips_detected_by_verify() {
         let mut bad = bytes.clone();
         bad[pos] ^= 0x10;
         let r = ArchiveReader::from_bytes(&bad).unwrap();
+        let report = r.verify().unwrap();
+        assert!(!report.is_clean(), "payload flip at {pos} not caught");
         assert!(
-            matches!(r.verify(), Err(ArchiveError::ChecksumMismatch { .. })),
-            "payload flip at {pos} not caught"
+            report
+                .faults
+                .iter()
+                .all(|f| f.kind == qoz_suite::archive::FaultKind::BitFlip),
+            "payload flip at {pos} misclassified: {:?}",
+            report.faults
         );
         assert!(r.read_full::<f32>("v").is_err());
     }

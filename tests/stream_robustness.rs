@@ -107,7 +107,9 @@ fn archive_must_reject(bytes: &[u8], what: &str) {
         Err(_) => true,
         Ok(r) => {
             let read = r.read_full::<f32>("v").is_err();
-            let verified = r.verify().is_err();
+            // verify() reports damage instead of erroring: "rejected"
+            // means the scan found at least one fault (or itself died).
+            let verified = r.verify().map(|rep| !rep.is_clean()).unwrap_or(true);
             read && verified
         }
     });
@@ -137,6 +139,155 @@ fn container_superblock_and_index_bitflip_fuzz() {
             bad[pos] ^= 1 << bit;
             archive_must_reject(&bad, &format!("bit flip at byte {pos} bit {bit}"));
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serve protocol: the daemon's wire layer under the same discipline as
+// the codecs — malformed bytes earn typed errors and the server stays
+// up, whatever a client throws at it.
+
+mod serve_wire {
+    use super::*;
+    use qoz_suite::serve::protocol::{self, kind, read_frame, write_frame};
+    use qoz_suite::serve::{
+        Client, ClientConfig, Endpoint, ErrorCode, Response, Server, ServerConfig,
+    };
+    use std::io::Write;
+    use std::time::Duration;
+
+    fn unix_ep(tag: &str) -> Endpoint {
+        Endpoint::Unix(
+            std::env::temp_dir()
+                .join(format!("qoz_wire_{tag}_{}.sock", std::process::id()))
+                .to_string_lossy()
+                .into_owned(),
+        )
+    }
+
+    /// SplitMix64 — deterministic frame mutations from a seed.
+    fn mix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn seeded_frame_fuzz_gets_typed_errors_and_server_survives() {
+        let server = Server::start(ServerConfig::new(unix_ep("fuzz"))).unwrap();
+        let ep = server.endpoint();
+
+        // A sound PING frame as the mutation substrate.
+        let mut sound = Vec::new();
+        write_frame(&mut sound, kind::PING, &[]).unwrap();
+
+        // Bytes of a PING frame that are NOT the payload length: the
+        // magic (0–3), the kind (4), and the payload checksum (9–16).
+        // Flips there always provoke an immediate typed reply; flips in
+        // the length field are covered by the oversized case below (a
+        // *small* length lie just leaves the server waiting for payload
+        // bytes — a stall for the client, nothing for the server).
+        const REPLY_SAFE_FLIPS: [usize; 13] = [0, 1, 2, 3, 4, 9, 10, 11, 12, 13, 14, 15, 16];
+
+        for seed in 0..48u64 {
+            let mut s = seed;
+            let mut wire = sound.clone();
+            let expect_reply = match mix(&mut s) % 4 {
+                // Truncated header/frame: the server sees a dead
+                // connection mid-frame; no response is owed.
+                0 => {
+                    wire.truncate((mix(&mut s) as usize) % wire.len());
+                    false
+                }
+                // Oversized declared length: typed BadFrame, rejected
+                // before any allocation.
+                1 => {
+                    let len = protocol::MAX_PAYLOAD as u32 + 1 + (mix(&mut s) as u32 % 1024);
+                    wire[5..9].copy_from_slice(&len.to_le_bytes());
+                    true
+                }
+                // Garbage frame: random bytes, with byte 0 forced off
+                // the real magic so the rejection is immediate.
+                2 => {
+                    wire = (0..16 + mix(&mut s) % 48)
+                        .map(|_| mix(&mut s) as u8)
+                        .collect();
+                    wire[0] = b'X';
+                    true
+                }
+                // Single bit flip at a position that guarantees a reply.
+                _ => {
+                    let pos = REPLY_SAFE_FLIPS[(mix(&mut s) as usize) % REPLY_SAFE_FLIPS.len()];
+                    wire[pos] ^= 1 << (mix(&mut s) % 8);
+                    true
+                }
+            };
+
+            let mut chan = ep.connect().unwrap();
+            chan.set_read_timeout(Some(Duration::from_secs(10)))
+                .unwrap();
+            if chan.write_all(&wire).is_err() {
+                continue; // server already hung up — fine
+            }
+            if expect_reply {
+                let (k, payload) = read_frame(&mut chan, protocol::MAX_PAYLOAD)
+                    .unwrap_or_else(|e| panic!("seed {seed}: no reply: {e}"));
+                match Response::decode(k, &payload) {
+                    Ok(Response::Error { code, .. }) => {
+                        assert_eq!(code, ErrorCode::BadFrame, "seed {seed}")
+                    }
+                    Ok(other) => panic!("seed {seed}: accepted fuzzed frame: {other:?}"),
+                    Err(e) => panic!("seed {seed}: undecodable response: {e}"),
+                }
+            } else {
+                // Sever mid-frame: the daemon must treat it as a dead
+                // peer, not die with it.
+                chan.shutdown().unwrap();
+            }
+        }
+
+        // The one invariant every seed shares: the daemon still serves.
+        let mut config = ClientConfig::new(ep);
+        config.base_backoff = Duration::from_millis(1);
+        let mut client = Client::with_config(config);
+        client.ping().expect("daemon survives the fuzz sweep");
+        assert!(client.stats().unwrap().bad_frames >= 1);
+        server.shutdown().unwrap();
+    }
+
+    /// Kill-and-restart smoke across the full stack (slow: two daemon
+    /// generations + two tunes' worth of work). Run with `--ignored`.
+    #[test]
+    #[ignore]
+    fn kill_and_restart_smoke_reuses_warm_plan() {
+        let plan_path =
+            std::env::temp_dir().join(format!("qoz_wire_plans_{}.qzpl", std::process::id()));
+        let _ = std::fs::remove_file(&plan_path);
+        let data = Dataset::Miranda.generate(SizeClass::Tiny, 0);
+
+        let mut config = ServerConfig::new(unix_ep("smoke1"));
+        config.plan_path = Some(plan_path.clone());
+        let server = Server::start(config).unwrap();
+        let mut client = Client::connect(server.endpoint());
+        let (outcome, cold_blob) = client
+            .compress("smoke", &data, ErrorBound::Rel(1e-3), 0)
+            .unwrap();
+        assert_eq!(outcome, 1, "first generation cold-tunes");
+        assert!(server.shutdown().unwrap() >= 1);
+
+        let mut config = ServerConfig::new(unix_ep("smoke2"));
+        config.plan_path = Some(plan_path.clone());
+        let server = Server::start(config).unwrap();
+        let mut client = Client::connect(server.endpoint());
+        let (outcome, warm_blob) = client
+            .compress("smoke", &data, ErrorBound::Rel(1e-3), 0)
+            .unwrap();
+        assert_eq!(outcome, 2, "second generation serves its first call warm");
+        assert_eq!(warm_blob, cold_blob, "warm restart is byte-identical");
+        server.shutdown().unwrap();
+        let _ = std::fs::remove_file(&plan_path);
     }
 }
 
