@@ -28,6 +28,10 @@ use qoz_tensor::{NdArray, Scalar};
 ///
 /// Only QoZ bound-target calls exercise the plan cache; other backends
 /// and quality-target searches count as neither warm nor cold here.
+/// The two `*_grow_events` fields make arena behaviour observable
+/// through the same struct: each counts stage-buffer growth events
+/// attributed to that direction of traffic, so a steady-state warm loop
+/// can assert both stay flat.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PipelineStats {
     /// Full tunes on an empty cache.
@@ -39,6 +43,12 @@ pub struct PipelineStats {
     /// Cache key matched but drift forced a retune (includes key
     /// changes: new shape, scalar type or bound).
     pub retunes: u64,
+    /// Stage buffers that had to grow during [`Pipeline::compress`]
+    /// calls (capacity-profile deltas over the arena).
+    pub compress_grow_events: u64,
+    /// Stage buffers that had to grow during
+    /// [`Pipeline::decompress_into`] calls (decode-side grow counters).
+    pub decode_grow_events: u64,
 }
 
 impl PipelineStats {
@@ -48,12 +58,27 @@ impl PipelineStats {
     }
 
     fn record(&mut self, outcome: PlanOutcome) {
-        match outcome {
-            PlanOutcome::ColdTuned => self.cold_tunes += 1,
-            PlanOutcome::WarmHit => self.warm_hits += 1,
-            PlanOutcome::WarmRescaled => self.warm_rescales += 1,
-            PlanOutcome::Retuned => self.retunes += 1,
-        }
+        let name = match outcome {
+            PlanOutcome::ColdTuned => {
+                self.cold_tunes += 1;
+                "cold_tuned"
+            }
+            PlanOutcome::WarmHit => {
+                self.warm_hits += 1;
+                "warm_hit"
+            }
+            PlanOutcome::WarmRescaled => {
+                self.warm_rescales += 1;
+                "warm_rescaled"
+            }
+            PlanOutcome::Retuned => {
+                self.retunes += 1;
+                "retuned"
+            }
+        };
+        qoz_telemetry::global()
+            .counter("qoz_plan_outcomes_total", &[("outcome", name)])
+            .inc();
     }
 }
 
@@ -158,6 +183,7 @@ impl<T: Scalar> Pipeline<T> {
         match self.session.target() {
             Target::Bound(bound) => {
                 let raw_bytes = (data.len() * T::BYTES) as u64;
+                let caps_before = self.scratch.capacities();
                 let blob = match &mut self.engine {
                     Engine::Qoz(inner) => {
                         let (qoz, cache) = &mut **inner;
@@ -171,6 +197,13 @@ impl<T: Scalar> Pipeline<T> {
                         codec.compress_with_scratch(data, bound, &mut self.scratch)
                     }
                 };
+                self.stats.compress_grow_events += self
+                    .scratch
+                    .capacities()
+                    .iter()
+                    .zip(caps_before.iter())
+                    .filter(|(now, before)| now > before)
+                    .count() as u64;
                 Ok(Compressed {
                     stats: CompressStats {
                         raw_bytes,
@@ -212,12 +245,13 @@ impl<T: Scalar> Pipeline<T> {
     /// read-path mirror of [`Pipeline::compress`]. The destination is
     /// reshaped in place; with a warm arena and a previously-seen shape
     /// the whole decode performs zero stage-buffer allocations
-    /// ([`Pipeline::decode_grow_events`] stays flat).
+    /// (`stats().decode_grow_events` stays flat).
     ///
     /// Dispatch is header-driven: a stream from the pipeline's own
     /// backend reuses the held engine, any other workspace stream is
     /// decoded through the registry with the same arena.
     pub fn decompress_into(&mut self, blob: &[u8], out: &mut NdArray<T>) -> Result<()> {
+        let grows_before = self.scratch.decode_grow_events();
         let header = crate::registry::peek_header(blob)?;
         match &self.engine {
             Engine::Qoz(inner) if header.compressor == BackendId::Qoz => inner
@@ -231,15 +265,8 @@ impl<T: Scalar> Pipeline<T> {
                 .registry()
                 .decompress_into(blob, &mut self.scratch, out)?,
         }
+        self.stats.decode_grow_events += self.scratch.decode_grow_events() - grows_before;
         Ok(())
-    }
-
-    /// Decode-stage buffer growth events recorded against the pipeline's
-    /// arena so far (monotone; see `Scratch::decode_grow_events`).
-    /// Sample before and after a [`Pipeline::decompress_into`] call to
-    /// assert the warm path allocated nothing.
-    pub fn decode_grow_events(&self) -> u64 {
-        self.scratch.decode_grow_events()
     }
 }
 

@@ -13,6 +13,34 @@ use crate::{ArchiveError, Result};
 use qoz_codec::Scratch;
 use qoz_tensor::{NdArray, Region, Scalar, Shape};
 
+/// Read-path counters on the process-wide telemetry registry. Resolved
+/// once — the per-chunk hot path only touches atomics.
+struct ReadMetrics {
+    chunk_fetches: std::sync::Arc<qoz_telemetry::Counter>,
+    chunks_decoded: std::sync::Arc<qoz_telemetry::Counter>,
+    bytes_read: std::sync::Arc<qoz_telemetry::Counter>,
+    bytes_served: std::sync::Arc<qoz_telemetry::Counter>,
+    faults_truncated: std::sync::Arc<qoz_telemetry::Counter>,
+    faults_bit_flip: std::sync::Arc<qoz_telemetry::Counter>,
+    tolerant_zero_fills: std::sync::Arc<qoz_telemetry::Counter>,
+}
+
+fn read_metrics() -> &'static ReadMetrics {
+    static METRICS: std::sync::OnceLock<ReadMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = qoz_telemetry::global();
+        ReadMetrics {
+            chunk_fetches: reg.counter("qoz_archive_chunk_fetches_total", &[]),
+            chunks_decoded: reg.counter("qoz_archive_chunks_decoded_total", &[]),
+            bytes_read: reg.counter("qoz_archive_bytes_read_total", &[]),
+            bytes_served: reg.counter("qoz_archive_bytes_served_total", &[]),
+            faults_truncated: reg.counter("qoz_archive_faults_total", &[("kind", "truncated")]),
+            faults_bit_flip: reg.counter("qoz_archive_faults_total", &[("kind", "bit_flip")]),
+            tolerant_zero_fills: reg.counter("qoz_archive_tolerant_zero_fills_total", &[]),
+        }
+    })
+}
+
 /// How a stored chunk failed verification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
@@ -165,11 +193,15 @@ impl<S: ByteSource> ArchiveReader<S> {
 
     /// Fetch chunk `k` of `var` and verify its checksum.
     fn fetch_chunk(&self, var_idx: usize, k: usize) -> Result<Vec<u8>> {
+        let m = read_metrics();
         let entry = self.toc.vars[var_idx].chunks[k];
+        m.chunk_fetches.inc();
         let blob = self
             .src
             .read_at(self.payload_start + entry.offset, entry.len as usize)?;
+        m.bytes_read.add(blob.len() as u64);
         if fnv1a(&blob) != entry.checksum {
+            m.faults_bit_flip.inc();
             return Err(ArchiveError::ChecksumMismatch {
                 var: self.toc.vars[var_idx].name.clone(),
                 chunk: k,
@@ -182,12 +214,19 @@ impl<S: ByteSource> ArchiveReader<S> {
     /// [`FaultKind`] a damage report records: an unreadable byte range
     /// is truncation, a readable range with the wrong hash a bit-flip.
     fn classify_chunk(&self, var_idx: usize, k: usize) -> std::result::Result<Vec<u8>, FaultKind> {
+        let m = read_metrics();
         let entry = self.toc.vars[var_idx].chunks[k];
+        m.chunk_fetches.inc();
         let blob = self
             .src
             .read_at(self.payload_start + entry.offset, entry.len as usize)
-            .map_err(|_| FaultKind::Truncated)?;
+            .map_err(|_| {
+                m.faults_truncated.inc();
+                FaultKind::Truncated
+            })?;
+        m.bytes_read.add(blob.len() as u64);
         if fnv1a(&blob) != entry.checksum {
+            m.faults_bit_flip.inc();
             return Err(FaultKind::BitFlip);
         }
         Ok(blob)
@@ -231,7 +270,11 @@ impl<S: ByteSource> ArchiveReader<S> {
             .map(|n| n.get())
             .unwrap_or(1);
         let chunks = qoz_pario::decompress_chunks(&*codec, &blobs, threads)?;
-        stitch(region, &grid, &hits, &chunks)
+        let m = read_metrics();
+        m.chunks_decoded.add(chunks.len() as u64);
+        let slab = stitch(region, &grid, &hits, &chunks)?;
+        m.bytes_served.add((slab.len() * T::BYTES) as u64);
+        Ok(slab)
     }
 
     /// [`ArchiveReader::read_region`] decoding serially with the
@@ -256,7 +299,11 @@ impl<S: ByteSource> ArchiveReader<S> {
             let blob = self.fetch_chunk(var_idx, k)?;
             chunks.push(codec.decompress_with_scratch(&blob, scratch)?);
         }
-        stitch(region, &grid, &hits, &chunks)
+        let m = read_metrics();
+        m.chunks_decoded.add(chunks.len() as u64);
+        let slab = stitch(region, &grid, &hits, &chunks)?;
+        m.bytes_served.add((slab.len() * T::BYTES) as u64);
+        Ok(slab)
     }
 
     /// Bounds-check a query and map it onto the chunk grid: the variable
@@ -375,7 +422,11 @@ impl<S: ByteSource> ArchiveReader<S> {
                 kind,
             });
         }
+        let m = read_metrics();
+        m.chunks_decoded.add(chunks.len() as u64);
+        m.tolerant_zero_fills.add(faults.len() as u64);
         let slab = stitch(region, &grid, &clean_hits, &chunks)?;
+        m.bytes_served.add((slab.len() * T::BYTES) as u64);
         Ok((slab, faults))
     }
 }

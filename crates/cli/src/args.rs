@@ -147,6 +147,15 @@ pub enum Command {
         /// Per-request deadline in ms (0 = server default).
         budget_ms: u64,
     },
+    /// Fetch a daemon's counters (and, with `--text`, its full
+    /// telemetry as Prometheus-style text exposition).
+    RemoteStats {
+        /// Daemon endpoint.
+        server: String,
+        /// Render the full telemetry extension as text exposition
+        /// instead of the legacy counter summary.
+        text: bool,
+    },
     /// Generate a synthetic dataset.
     Gen {
         /// Dataset name (cesm/miranda/rtm/nyx/hurricane/letkf).
@@ -401,8 +410,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     output: require("-o")?.to_string(),
                     budget_ms: budget,
                 }),
+                Some("stats") => Ok(Command::RemoteStats {
+                    server: require("-s")?.to_string(),
+                    text: has_flag("--text"),
+                }),
                 _ => Err(CliError::usage(
-                    "remote needs a verb: remote compress|decompress",
+                    "remote needs a verb: remote compress|decompress|stats",
                 )),
             }
         }
@@ -446,6 +459,9 @@ USAGE:
                         -e 1e-3 [-m rel|abs] [-t f32|f64] [--name VAR]
                         [--budget-ms N]
   qoz remote decompress -s ENDPOINT -i out.qz -o recon.f32 [--budget-ms N]
+  qoz remote stats      -s ENDPOINT [--text]
+                        daemon counters; --text renders the full
+                        telemetry as Prometheus-style text exposition
   qoz help
 ";
 
@@ -803,6 +819,24 @@ mod tests {
                 output: "a.f32".into(),
                 budget_ms: 0,
             }
+        );
+        assert_eq!(
+            parse(&sv(&["remote", "stats", "-s", "unix:/s", "--text"])).unwrap(),
+            Command::RemoteStats {
+                server: "unix:/s".into(),
+                text: true,
+            }
+        );
+        assert_eq!(
+            parse(&sv(&["remote", "stats", "-s", "unix:/s"])).unwrap(),
+            Command::RemoteStats {
+                server: "unix:/s".into(),
+                text: false,
+            }
+        );
+        assert!(
+            parse(&sv(&["remote", "stats"])).is_err(),
+            "-s is required for stats"
         );
         // A missing or unknown verb is a usage error, not a fallthrough.
         assert!(parse(&sv(&["remote"])).is_err());

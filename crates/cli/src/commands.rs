@@ -439,10 +439,14 @@ pub fn run(cmd: Command) -> Result<Vec<String>, CliError> {
                 std::thread::sleep(std::time::Duration::from_millis(50));
             }
             let stats = server.stats();
+            // Same Prometheus-style dump the standalone daemon binary
+            // prints at drain, for post-mortem scraping.
+            let exposition = server.metrics_text();
             let persisted = server
                 .shutdown()
                 .map_err(|e| CliError::runtime(format!("failed to persist plans: {e}")))?;
-            Ok(vec![format!(
+            let mut lines: Vec<String> = exposition.lines().map(str::to_string).collect();
+            lines.push(format!(
                 "serve: stopped cleanly; {persisted} tuned plan(s) persisted \
                  (served {}, shed {}, deadline-missed {}, panics {}, bad frames {})",
                 stats.served,
@@ -450,7 +454,8 @@ pub fn run(cmd: Command) -> Result<Vec<String>, CliError> {
                 stats.deadline_missed,
                 stats.worker_panics,
                 stats.bad_frames
-            )])
+            ));
+            Ok(lines)
         }
         Command::RemoteCompress {
             server,
@@ -514,6 +519,29 @@ pub fn run(cmd: Command) -> Result<Vec<String>, CliError> {
                 write_atomically(&output, |sink| rawio::write_raw_into(sink, &data))?;
             }
             Ok(vec![format!("{input} -> {output} via {server}")])
+        }
+        Command::RemoteStats { server, text } => {
+            let mut client = qoz_serve::Client::connect(parse_endpoint(&server)?);
+            let stats = client.stats().map_err(remote_err)?;
+            if text {
+                let snap = stats.telemetry.ok_or_else(|| {
+                    CliError::runtime("server sent no telemetry extension (daemon predates --text)")
+                })?;
+                Ok(snap.render_text().lines().map(str::to_string).collect())
+            } else {
+                Ok(vec![format!(
+                    "{server}: served {} | shed {} | deadline-missed {} | panics {} \
+                     | bad frames {} | warm {} | cold {} | drain-rejects {}",
+                    stats.served,
+                    stats.shed,
+                    stats.deadline_missed,
+                    stats.worker_panics,
+                    stats.bad_frames,
+                    stats.warm_hits,
+                    stats.cold_tunes,
+                    stats.shutdown_rejects
+                )])
+            }
         }
         Command::Gen {
             dataset,
@@ -831,9 +859,30 @@ mod tests {
         .unwrap_err();
         assert_eq!(err.code, 3, "{err}");
 
+        // Live scrape: the legacy summary and the text exposition.
+        let out = run(parse(&sv(&["remote", "stats", "-s", &sock])).unwrap()).unwrap();
+        assert!(out[0].contains("served"), "{out:?}");
+        let text = run(parse(&sv(&["remote", "stats", "-s", &sock, "--text"])).unwrap()).unwrap();
+        assert!(
+            text.iter()
+                .any(|l| l.starts_with("qoz_requests_total{kind=\"compress\"} ")),
+            "{text:?}"
+        );
+        assert!(
+            text.iter()
+                .any(|l| l.contains("qoz_request_latency_ns_bucket") && l.contains("le=\"+Inf\"")),
+            "{text:?}"
+        );
+
         probe.shutdown().unwrap();
         let lines = daemon.join().unwrap().unwrap();
-        assert!(lines[0].contains("stopped cleanly"), "{lines:?}");
+        // Drain output: the Prometheus-style dump, then the summary.
+        assert!(
+            lines.iter().any(|l| l.starts_with("qoz_responses_total ")),
+            "{lines:?}"
+        );
+        let last = lines.last().unwrap();
+        assert!(last.contains("stopped cleanly"), "{lines:?}");
         for f in [&raw, &qz, &rec, &broken] {
             std::fs::remove_file(f).ok();
         }

@@ -135,6 +135,26 @@ impl<T: Scalar> Scratch<T> {
     pub fn decode_grow_events(&self) -> u64 {
         self.grows.get() + self.entropy.lz.grow_events() + self.entropy.huffman.grow_events()
     }
+
+    /// Current capacities of every arena-owned stage buffer, in a fixed
+    /// order (work, bins, unpred, anchors, section, entropy huff/bits/
+    /// packed). The compress path has no internal grow counters — its
+    /// buffers grow through ordinary `Vec` reallocation — so callers
+    /// that want compress-side growth accounting compare this profile
+    /// before and after a call: any entry that increased is one growth
+    /// event.
+    pub fn capacities(&self) -> [usize; 8] {
+        [
+            self.work.capacity(),
+            self.bins.capacity(),
+            self.unpred.capacity(),
+            self.anchors.capacity(),
+            self.section.capacity(),
+            self.entropy.huff.capacity(),
+            self.entropy.bits.capacity(),
+            self.entropy.packed.capacity(),
+        ]
+    }
 }
 
 #[cfg(test)]

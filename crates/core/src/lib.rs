@@ -96,6 +96,7 @@ impl Qoz {
     /// Run the online tuning stage only, returning the plan that
     /// [`Qoz::compress`] would execute.
     pub fn plan<T: Scalar>(&self, data: &NdArray<T>, bound: ErrorBound) -> QozPlan {
+        let _span = qoz_telemetry::stages().tune.start();
         let abs_eb = bound.absolute(data);
         let shape = data.shape();
         let cfg = &self.config;

@@ -205,14 +205,19 @@ impl<J: Send + 'static> std::fmt::Debug for WorkerPool<J> {
 }
 
 fn run_worker<J: Send + 'static>(queue: Arc<BoundedQueue<J>>, shared: Arc<PoolShared<J>>) {
+    let jobs = qoz_telemetry::global().counter("qoz_pool_jobs_total", &[]);
     let mut handler = (shared.factory_and_handler.factory)();
     while let Some(job) = queue.pop() {
         let outcome = catch_unwind(AssertUnwindSafe(|| handler(job)));
+        jobs.inc();
         if outcome.is_err() {
             // This worker's state may be mid-mutation: discard it and
             // hand the queue to a fresh replacement. The pool never
             // loses capacity to a poison job.
             shared.replaced.fetch_add(1, Ordering::Relaxed);
+            qoz_telemetry::global()
+                .counter("qoz_pool_workers_replaced_total", &[])
+                .inc();
             let q = Arc::clone(&queue);
             let s = Arc::clone(&shared);
             let handle = std::thread::spawn(move || run_worker(q, s));

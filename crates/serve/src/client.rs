@@ -124,6 +124,11 @@ impl Client {
         let mut last: Option<ClientError> = None;
         for attempt in 0..=self.config.max_retries {
             if attempt > 0 {
+                // Client-observed retries: every re-attempt after a
+                // transient server error or transport failure.
+                qoz_telemetry::global()
+                    .counter("qoz_client_retries_total", &[])
+                    .inc();
                 self.backoff(attempt - 1);
             }
             match self.attempt_once(kind, &payload) {
@@ -361,6 +366,14 @@ mod tests {
         config.base_backoff = Duration::from_millis(1);
         let mut client = Client::with_config(config);
         client.ping().expect("third attempt succeeds");
+        // Both re-attempts were observed on the retry counter (global:
+        // other tests in this process can only push it higher).
+        assert!(
+            qoz_telemetry::global()
+                .counter("qoz_client_retries_total", &[])
+                .get()
+                >= 2
+        );
         server.join().unwrap();
     }
 

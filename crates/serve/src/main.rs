@@ -123,14 +123,19 @@ fn run() -> i32 {
     }
     eprintln!("qoz-serve: draining…");
     let stats = server.stats();
+    // Final telemetry dump on stdout: the same Prometheus-style text a
+    // live `qoz remote stats --text` renders, for post-mortem scraping.
+    let exposition = server.metrics_text();
     match server.shutdown() {
         Ok(n) => {
             print_stats(&stats);
+            print!("{exposition}");
             eprintln!("qoz-serve: stopped cleanly; {n} tuned plan(s) persisted");
             0
         }
         Err(e) => {
             print_stats(&stats);
+            print!("{exposition}");
             eprintln!("qoz-serve: failed to persist plans: {e}");
             1
         }

@@ -215,6 +215,40 @@ impl ErrorCode {
     pub fn is_transient(self) -> bool {
         matches!(self, ErrorCode::Overloaded | ErrorCode::ShuttingDown)
     }
+
+    /// Every code, in wire order. Servers use this to pre-register one
+    /// error counter per code so the exposition always shows the full
+    /// family, zeros included.
+    pub const ALL: [ErrorCode; 10] = [
+        ErrorCode::BadFrame,
+        ErrorCode::BadRequest,
+        ErrorCode::Overloaded,
+        ErrorCode::DeadlineExceeded,
+        ErrorCode::WorkerPanic,
+        ErrorCode::ShuttingDown,
+        ErrorCode::CorruptInput,
+        ErrorCode::NewerFormat,
+        ErrorCode::Io,
+        ErrorCode::Internal,
+    ];
+
+    /// Stable snake_case name, used as the `code` label on the
+    /// `qoz_errors_total` metric family. Part of the exposition format:
+    /// rename only with a metrics version bump.
+    pub fn as_label(self) -> &'static str {
+        match self {
+            ErrorCode::BadFrame => "bad_frame",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::WorkerPanic => "worker_panic",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::CorruptInput => "corrupt_input",
+            ErrorCode::NewerFormat => "newer_format",
+            ErrorCode::Io => "io",
+            ErrorCode::Internal => "internal",
+        }
+    }
 }
 
 /// A parsed request.
@@ -278,6 +312,21 @@ impl Request {
             Request::Shutdown => kind::SHUTDOWN,
             Request::Stats => kind::STATS,
             Request::ChaosPanic => kind::CHAOS_PANIC,
+        }
+    }
+
+    /// Stable snake_case name, used as the `kind` label on the
+    /// per-request metric families (`qoz_requests_total`,
+    /// `qoz_request_latency_ns`, `qoz_request_payload_bytes`).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Compress { .. } => "compress",
+            Request::Decompress { .. } => "decompress",
+            Request::RegionRead { .. } => "region_read",
+            Request::Shutdown => "shutdown",
+            Request::Stats => "stats",
+            Request::ChaosPanic => "chaos_panic",
         }
     }
 
@@ -394,7 +443,17 @@ impl Request {
 }
 
 /// Server counters, as carried by a [`Response::Stats`] frame.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// **Wire forward-compatibility contract.** The payload is the eight
+/// legacy varints below, in order, optionally followed by a
+/// length-prefixed telemetry snapshot blob, optionally followed by
+/// further extension bytes this version does not know about. Old
+/// clients stop after the eight varints (their decoder has always
+/// tolerated what the frame checksum already covers); this decoder
+/// parses the telemetry extension when present and *skips* any trailing
+/// extension bytes instead of rejecting them, so the next extension can
+/// be appended the same way. New fields must only ever be appended.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Requests admitted and answered (any outcome).
     pub served: u64,
@@ -412,6 +471,10 @@ pub struct StatsSnapshot {
     pub cold_tunes: u64,
     /// Requests rejected because the server was draining.
     pub shutdown_rejects: u64,
+    /// Full per-instance telemetry (counters, error tallies, latency
+    /// and payload-size histograms, plan-cache outcomes). `None` when
+    /// the server predates the extension.
+    pub telemetry: Option<qoz_telemetry::Snapshot>,
 }
 
 impl StatsSnapshot {
@@ -429,11 +492,16 @@ impl StatsSnapshot {
         ] {
             w.put_varint(v);
         }
+        if let Some(t) = &self.telemetry {
+            w.put_len_prefixed(&t.encode());
+        }
         w.finish()
     }
 
+    /// Decode, consuming the entire remaining payload (unknown future
+    /// extension bytes are skipped — see the type-level contract).
     fn decode(r: &mut ByteReader) -> qoz_codec::Result<StatsSnapshot> {
-        Ok(StatsSnapshot {
+        let mut snap = StatsSnapshot {
             served: r.get_varint()?,
             shed: r.get_varint()?,
             deadline_missed: r.get_varint()?,
@@ -442,7 +510,21 @@ impl StatsSnapshot {
             warm_hits: r.get_varint()?,
             cold_tunes: r.get_varint()?,
             shutdown_rejects: r.get_varint()?,
-        })
+            telemetry: None,
+        };
+        if r.remaining() > 0 {
+            let blob = r.get_len_prefixed()?;
+            snap.telemetry = Some(
+                qoz_telemetry::Snapshot::decode(blob)
+                    .map_err(|_| CodecError::Corrupt("bad telemetry extension"))?,
+            );
+        }
+        // Skip extensions newer than this decoder.
+        let trailing = r.remaining();
+        if trailing > 0 {
+            r.get_bytes(trailing)?;
+        }
+        Ok(snap)
     }
 }
 
@@ -736,6 +818,52 @@ mod tests {
             let (k, payload) = read_frame(&mut wire.as_slice(), MAX_PAYLOAD).unwrap();
             assert_eq!(Response::decode(k, &payload).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn stats_telemetry_extension_roundtrips_and_stays_forward_compatible() {
+        let reg = qoz_telemetry::Registry::new();
+        reg.counter("qoz_requests_total", &[("kind", "compress")])
+            .add(3);
+        reg.histogram("qoz_request_latency_ns", &[("kind", "compress")], &[1000])
+            .observe(10);
+        let snap = StatsSnapshot {
+            served: 3,
+            warm_hits: 2,
+            telemetry: Some(reg.snapshot()),
+            ..Default::default()
+        };
+        let resp = Response::Stats(snap.clone());
+
+        // Extended payload round-trips exactly.
+        let decoded = Response::decode(kind::STATS_OK, &resp.encode()).unwrap();
+        assert_eq!(decoded, resp);
+
+        // An old-format payload (eight varints only) still parses:
+        // that is what a pre-extension server sends.
+        let legacy = Response::Stats(StatsSnapshot {
+            served: 3,
+            warm_hits: 2,
+            ..Default::default()
+        });
+        let mut legacy_payload = resp.encode();
+        legacy_payload.truncate(8); // the eight varints are one byte each here
+        assert_eq!(
+            Response::decode(kind::STATS_OK, &legacy_payload).unwrap(),
+            legacy
+        );
+
+        // Bytes appended after the telemetry extension (a future,
+        // newer-than-us extension) are skipped, not rejected.
+        let mut future = resp.encode();
+        future.extend_from_slice(&[0xAA, 0xBB, 0xCC]);
+        assert_eq!(Response::decode(kind::STATS_OK, &future).unwrap(), resp);
+
+        // A corrupt telemetry blob is still an error, not a panic.
+        let mut corrupt = resp.encode();
+        let n = corrupt.len();
+        corrupt[n / 2] ^= 0xFF;
+        let _ = Response::decode(kind::STATS_OK, &corrupt);
     }
 
     #[test]

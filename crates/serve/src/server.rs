@@ -90,31 +90,144 @@ impl ServerConfig {
     }
 }
 
-/// Monotone daemon counters (lock-free; workers and connection threads
-/// bump them concurrently).
-#[derive(Debug, Default)]
-struct Stats {
-    served: AtomicU64,
-    shed: AtomicU64,
-    deadline_missed: AtomicU64,
-    worker_panics: AtomicU64,
-    bad_frames: AtomicU64,
-    warm_hits: AtomicU64,
-    cold_tunes: AtomicU64,
-    shutdown_rejects: AtomicU64,
+/// Request kinds in wire order; the `kind` label values of the
+/// per-request metric families.
+const KIND_NAMES: [&str; 7] = [
+    "ping",
+    "compress",
+    "decompress",
+    "region_read",
+    "shutdown",
+    "stats",
+    "chaos_panic",
+];
+
+/// Plan-cache outcome label values, `qoz_plan_cache_total{outcome=…}`.
+const PLAN_OUTCOME_NAMES: [&str; 4] = ["cold_tuned", "warm_hit", "warm_rescaled", "retuned"];
+
+/// Resolved instruments for one request kind.
+struct KindMetrics {
+    requests: Arc<qoz_telemetry::Counter>,
+    latency: Arc<qoz_telemetry::Histogram>,
+    payload: Arc<qoz_telemetry::Histogram>,
 }
 
-impl Stats {
+/// Registry-backed daemon metrics.
+///
+/// Instruments live in a *per-server* [`qoz_telemetry::Registry`] — the
+/// fault-injection suite runs several servers concurrently in one
+/// process, so daemon counters must not be process globals. Every
+/// hot-path handle is resolved once here; bumping a counter afterwards
+/// is a single relaxed atomic add with no registry lock.
+///
+/// Every error reply the daemon generates — shed, deadline miss, bad
+/// frame, bad request, worker panic, shutdown reject, codec/archive/api
+/// mapper errors, internal timeouts — is tallied through one choke
+/// point ([`Metrics::tally`]), so no reply site can forget its counter.
+struct Metrics {
+    registry: qoz_telemetry::Registry,
+    /// Responses actually written back to a client (any outcome).
+    responses: Arc<qoz_telemetry::Counter>,
+    /// One dedicated counter per [`ErrorCode`], indexed `code as u8 - 1`.
+    errors: [Arc<qoz_telemetry::Counter>; 10],
+    /// Plan-cache outcomes, indexed per [`PLAN_OUTCOME_NAMES`].
+    plan_outcomes: [Arc<qoz_telemetry::Counter>; 4],
+    /// Per-request-kind instruments, indexed per [`KIND_NAMES`].
+    kinds: [KindMetrics; 7],
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics")
+            .field("responses", &self.responses.get())
+            .finish()
+    }
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        let registry = qoz_telemetry::Registry::new();
+        let responses = registry.counter("qoz_responses_total", &[]);
+        let errors =
+            ErrorCode::ALL.map(|c| registry.counter("qoz_errors_total", &[("code", c.as_label())]));
+        let plan_outcomes =
+            PLAN_OUTCOME_NAMES.map(|o| registry.counter("qoz_plan_cache_total", &[("outcome", o)]));
+        let kinds = KIND_NAMES.map(|k| KindMetrics {
+            requests: registry.counter("qoz_requests_total", &[("kind", k)]),
+            latency: registry.histogram(
+                "qoz_request_latency_ns",
+                &[("kind", k)],
+                qoz_telemetry::LATENCY_BOUNDS_NS,
+            ),
+            payload: registry.histogram(
+                "qoz_request_payload_bytes",
+                &[("kind", k)],
+                qoz_telemetry::SIZE_BOUNDS_BYTES,
+            ),
+        });
+        Metrics {
+            registry,
+            responses,
+            errors,
+            plan_outcomes,
+            kinds,
+        }
+    }
+
+    fn error(&self, code: ErrorCode) -> &qoz_telemetry::Counter {
+        &self.errors[code as u8 as usize - 1]
+    }
+
+    fn kind(&self, request: &Request) -> &KindMetrics {
+        let idx = match request {
+            Request::Ping => 0,
+            Request::Compress { .. } => 1,
+            Request::Decompress { .. } => 2,
+            Request::RegionRead { .. } => 3,
+            Request::Shutdown => 4,
+            Request::Stats => 5,
+            Request::ChaosPanic => 6,
+        };
+        &self.kinds[idx]
+    }
+
+    /// The single error-accounting choke point: called on every
+    /// response the daemon is about to send, wherever it was built.
+    fn tally(&self, resp: &Response) {
+        if let Response::Error { code, .. } = resp {
+            self.error(*code).inc();
+        }
+    }
+
+    fn plan_outcome(&self, outcome: PlanOutcome) {
+        let idx = match outcome {
+            PlanOutcome::ColdTuned => 0,
+            PlanOutcome::WarmHit => 1,
+            PlanOutcome::WarmRescaled => 2,
+            PlanOutcome::Retuned => 3,
+        };
+        self.plan_outcomes[idx].inc();
+    }
+
+    /// Legacy counters derived from the registry, plus the full
+    /// telemetry extension: this server's instruments merged with the
+    /// process-global layer metrics (pipeline outcomes, archive I/O,
+    /// pool health) and the per-stage timers.
     fn snapshot(&self) -> StatsSnapshot {
+        let mut telemetry = self.registry.snapshot();
+        telemetry.merge(&qoz_telemetry::global().snapshot());
+        telemetry.append_stages();
         StatsSnapshot {
-            served: self.served.load(Ordering::Relaxed),
-            shed: self.shed.load(Ordering::Relaxed),
-            deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
-            worker_panics: self.worker_panics.load(Ordering::Relaxed),
-            bad_frames: self.bad_frames.load(Ordering::Relaxed),
-            warm_hits: self.warm_hits.load(Ordering::Relaxed),
-            cold_tunes: self.cold_tunes.load(Ordering::Relaxed),
-            shutdown_rejects: self.shutdown_rejects.load(Ordering::Relaxed),
+            served: self.responses.get(),
+            shed: self.error(ErrorCode::Overloaded).get(),
+            deadline_missed: self.error(ErrorCode::DeadlineExceeded).get(),
+            worker_panics: self.error(ErrorCode::WorkerPanic).get(),
+            bad_frames: self.error(ErrorCode::BadFrame).get()
+                + self.error(ErrorCode::BadRequest).get(),
+            warm_hits: self.plan_outcomes[1].get() + self.plan_outcomes[2].get(),
+            cold_tunes: self.plan_outcomes[0].get() + self.plan_outcomes[3].get(),
+            shutdown_rejects: self.error(ErrorCode::ShuttingDown).get(),
+            telemetry: Some(telemetry),
         }
     }
 }
@@ -169,7 +282,7 @@ struct Job {
 
 struct Shared {
     config: ServerConfig,
-    stats: Stats,
+    metrics: Metrics,
     /// Set by a `Shutdown` request or [`Server::begin_shutdown`]: new
     /// work is rejected, in-flight work drains.
     draining: AtomicBool,
@@ -205,7 +318,7 @@ impl Server {
         let listener = Listener::bind(&config.endpoint)?;
         let endpoint = listener.local_endpoint();
         let shared = Arc::new(Shared {
-            stats: Stats::default(),
+            metrics: Metrics::new(),
             draining: AtomicBool::new(false),
             stop: AtomicBool::new(false),
             pending: AtomicU64::new(0),
@@ -242,9 +355,24 @@ impl Server {
         self.endpoint.clone()
     }
 
-    /// Current counters.
+    /// Current counters (legacy fields plus the full telemetry
+    /// extension — see [`StatsSnapshot`]).
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared.stats.snapshot()
+        self.shared.metrics.snapshot()
+    }
+
+    /// Prometheus-style text exposition of this server's merged
+    /// telemetry (per-instance instruments + process-global layer
+    /// metrics + per-stage timers). The daemon binary dumps this at
+    /// drain; `qoz remote stats --text` renders the same snapshot
+    /// client-side from the wire extension.
+    pub fn metrics_text(&self) -> String {
+        self.shared
+            .metrics
+            .snapshot()
+            .telemetry
+            .unwrap_or_default()
+            .render_text()
     }
 
     /// `true` once a shutdown has been requested (by request or signal).
@@ -415,7 +543,6 @@ fn connection_loop(
                 // The stream is desynced past this point, so answer the
                 // typed error and drop the connection — but the daemon
                 // itself stays up.
-                shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
                 respond(
                     &mut chan,
                     &shared,
@@ -430,7 +557,6 @@ fn connection_loop(
         let request = match Request::decode(kind_byte, &payload) {
             Ok(req) => req,
             Err(e) => {
-                shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
                 // Frame boundaries are intact — the connection can keep
                 // going after a structurally-bad request.
                 if !respond(
@@ -446,17 +572,27 @@ fn connection_loop(
                 continue;
             }
         };
+        // Per-kind accounting: the request is structurally sound from
+        // here on, so it gets a kind label, a payload-size observation,
+        // and a latency observation once its response is ready.
+        let kind_metrics = shared.metrics.kind(&request);
+        kind_metrics.requests.inc();
+        kind_metrics.payload.observe(payload.len() as u64);
+        let arrived = Instant::now();
         let resp = match request {
             // Control-plane requests bypass the queue: they must work
             // precisely when the data plane is saturated.
             Request::Ping => Response::Pong,
-            Request::Stats => Response::Stats(shared.stats.snapshot()),
+            Request::Stats => Response::Stats(shared.metrics.snapshot()),
             Request::Shutdown => {
                 shared.draining.store(true, Ordering::SeqCst);
                 Response::ShutdownOk
             }
             work => admit(work, &shared, &queue),
         };
+        kind_metrics
+            .latency
+            .observe(arrived.elapsed().as_nanos() as u64);
         let keep_going = respond(&mut chan, &shared, resp);
         if !keep_going || shared.stop.load(Ordering::SeqCst) {
             return;
@@ -468,10 +604,6 @@ fn connection_loop(
 /// any memory or worker time is spent on the request.
 fn admit(request: Request, shared: &Shared, queue: &qoz_pario::BoundedQueue<Job>) -> Response {
     if shared.draining.load(Ordering::SeqCst) {
-        shared
-            .stats
-            .shutdown_rejects
-            .fetch_add(1, Ordering::Relaxed);
         return Response::Error {
             code: ErrorCode::ShuttingDown,
             message: "server is draining".into(),
@@ -496,7 +628,6 @@ fn admit(request: Request, shared: &Shared, queue: &qoz_pario::BoundedQueue<Job>
         resp: tx,
     };
     if queue.try_push(job).is_err() {
-        shared.stats.shed.fetch_add(1, Ordering::Relaxed);
         return Response::Error {
             code: ErrorCode::Overloaded,
             message: "admission queue full".into(),
@@ -515,11 +646,14 @@ fn admit(request: Request, shared: &Shared, queue: &qoz_pario::BoundedQueue<Job>
     resp
 }
 
-/// Write a response frame; `false` means the client is gone.
+/// Write a response frame; `false` means the client is gone. Error
+/// responses are tallied here whether or not the write lands — the
+/// daemon generated the failure either way.
 fn respond(chan: &mut Box<dyn Channel>, shared: &Shared, resp: Response) -> bool {
+    shared.metrics.tally(&resp);
     let ok = write_frame(chan, resp.kind(), &resp.encode()).is_ok();
     if ok {
-        shared.stats.served.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.responses.inc();
     }
     ok
 }
@@ -554,7 +688,6 @@ impl WorkerState {
         // the queue is dropped for pennies instead of served for
         // dollars.
         if Instant::now() > deadline {
-            shared.stats.deadline_missed.fetch_add(1, Ordering::Relaxed);
             let _ = resp.send(deadline_response());
             return;
         }
@@ -566,7 +699,6 @@ impl WorkerState {
             Err(payload) => {
                 // Answer first, then let the panic continue so the pool
                 // replaces this worker (its state may be mid-mutation).
-                shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
                 let _ = resp.send(Response::Error {
                     code: ErrorCode::WorkerPanic,
                     message: "worker panicked serving this request; worker replaced".into(),
@@ -608,7 +740,7 @@ impl WorkerState {
                     )
                 }
             }
-            Request::Decompress { blob, .. } => self.serve_decompress(shared, &blob, deadline),
+            Request::Decompress { blob, .. } => self.serve_decompress(&blob, deadline),
             Request::RegionRead {
                 archive,
                 var,
@@ -626,15 +758,15 @@ impl WorkerState {
         }
     }
 
-    fn serve_decompress(&mut self, shared: &Shared, blob: &[u8], deadline: Instant) -> Response {
+    fn serve_decompress(&mut self, blob: &[u8], deadline: Instant) -> Response {
         let header = match qoz_api::peek_header(blob) {
             Ok(h) => h,
             Err(e) => return error_from_codec(&e),
         };
         if header.scalar_tag == f32::TYPE_TAG {
-            decompress_as::<f32>(&mut self.scratch_f32, shared, blob, header.shape, deadline)
+            decompress_as::<f32>(&mut self.scratch_f32, blob, header.shape, deadline)
         } else if header.scalar_tag == f64::TYPE_TAG {
-            decompress_as::<f64>(&mut self.scratch_f64, shared, blob, header.shape, deadline)
+            decompress_as::<f64>(&mut self.scratch_f64, blob, header.shape, deadline)
         } else {
             Response::Error {
                 code: ErrorCode::CorruptInput,
@@ -700,7 +832,6 @@ impl WorkerState {
             region_as::<f32>(
                 reader,
                 &mut self.scratch_f32,
-                shared,
                 var,
                 &region,
                 tolerant,
@@ -710,7 +841,6 @@ impl WorkerState {
             region_as::<f64>(
                 reader,
                 &mut self.scratch_f64,
-                shared,
                 var,
                 &region,
                 tolerant,
@@ -774,7 +904,6 @@ fn serve_compress<T: Scalar>(
     // Stage boundary: tuning + compression are done; don't ship bytes
     // the client has already given up on.
     if Instant::now() > deadline {
-        shared.stats.deadline_missed.fetch_add(1, Ordering::Relaxed);
         return deadline_response();
     }
     let outcome_byte = match pipe.last_outcome() {
@@ -784,12 +913,9 @@ fn serve_compress<T: Scalar>(
         Some(PlanOutcome::WarmRescaled) => 3,
         Some(PlanOutcome::Retuned) => 4,
     };
-    match pipe.last_outcome() {
-        Some(PlanOutcome::WarmHit) | Some(PlanOutcome::WarmRescaled) => {
-            shared.stats.warm_hits.fetch_add(1, Ordering::Relaxed);
-        }
-        Some(PlanOutcome::ColdTuned) | Some(PlanOutcome::Retuned) => {
-            shared.stats.cold_tunes.fetch_add(1, Ordering::Relaxed);
+    if let Some(outcome) = pipe.last_outcome() {
+        shared.metrics.plan_outcome(outcome);
+        if matches!(outcome, PlanOutcome::ColdTuned | PlanOutcome::Retuned) {
             // Publish the fresh plan so (a) sibling workers prime their
             // next pipeline from it and (b) shutdown persists it.
             if let Some(snap) = pipe.plan_snapshot() {
@@ -800,7 +926,6 @@ fn serve_compress<T: Scalar>(
                     .insert(PlanKey::of_snapshot(&snap), snap);
             }
         }
-        None => {}
     }
     Response::Compressed {
         outcome: outcome_byte,
@@ -810,7 +935,6 @@ fn serve_compress<T: Scalar>(
 
 fn decompress_as<T: Scalar>(
     scratch: &mut Scratch<T>,
-    shared: &Shared,
     blob: &[u8],
     shape: Shape,
     deadline: Instant,
@@ -820,7 +944,6 @@ fn decompress_as<T: Scalar>(
         return error_from_codec(&e);
     }
     if Instant::now() > deadline {
-        shared.stats.deadline_missed.fetch_add(1, Ordering::Relaxed);
         return deadline_response();
     }
     let mut raw = Vec::with_capacity(out.len() * T::BYTES);
@@ -834,11 +957,9 @@ fn decompress_as<T: Scalar>(
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn region_as<T: Scalar>(
     reader: &ArchiveReader<FileSource>,
     scratch: &mut Scratch<T>,
-    shared: &Shared,
     var: &str,
     region: &Region,
     tolerant: bool,
@@ -856,7 +977,6 @@ fn region_as<T: Scalar>(
         }
     };
     if Instant::now() > deadline {
-        shared.stats.deadline_missed.fetch_add(1, Ordering::Relaxed);
         return deadline_response();
     }
     let mut raw = Vec::with_capacity(slab.len() * T::BYTES);

@@ -98,6 +98,32 @@ fn round_trip_is_byte_identical_to_local_over_unix_and_tcp() {
         assert!(stats.served >= 4);
         assert_eq!(stats.cold_tunes, 1);
         assert!(stats.warm_hits >= 1);
+
+        // The wire snapshot carries the full telemetry extension:
+        // per-kind request counters, plan-cache outcomes, and latency /
+        // payload histograms whose counts agree with the traffic.
+        let t = stats.telemetry.expect("server sends telemetry extension");
+        assert_eq!(
+            t.counter("qoz_requests_total", &[("kind", "compress")]),
+            Some(2)
+        );
+        assert_eq!(
+            t.counter("qoz_plan_cache_total", &[("outcome", "cold_tuned")]),
+            Some(1)
+        );
+        assert_eq!(
+            t.counter("qoz_plan_cache_total", &[("outcome", "warm_hit")]),
+            Some(1)
+        );
+        let lat = t
+            .histogram("qoz_request_latency_ns", &[("kind", "compress")])
+            .expect("compress latency histogram exists");
+        assert_eq!(lat.count, 2);
+        assert!(lat.sum > 0, "compress latency sums to nonzero ns");
+        let pay = t
+            .histogram("qoz_request_payload_bytes", &[("kind", "compress")])
+            .expect("compress payload histogram exists");
+        assert_eq!(pay.count, 2);
         server.shutdown().unwrap();
     }
 }
@@ -138,7 +164,15 @@ fn overload_sheds_with_typed_error_and_daemon_survives() {
     // The daemon shed load; it did not die or wedge.
     let mut client = quick_client(ep);
     client.ping().unwrap();
-    assert!(client.stats().unwrap().shed >= overloaded as u64);
+    let stats = client.stats().unwrap();
+    assert!(stats.shed >= overloaded as u64);
+    // Sheds land on their own dedicated error counter.
+    let t = stats.telemetry.unwrap();
+    assert!(
+        t.counter("qoz_errors_total", &[("code", "overloaded")])
+            .unwrap_or(0)
+            >= overloaded as u64
+    );
     server.shutdown().unwrap();
 }
 
@@ -156,7 +190,17 @@ fn deadline_exceeded_is_typed_and_counted() {
         }
         other => panic!("wanted DeadlineExceeded, got {other:?}"),
     }
-    assert!(client.stats().unwrap().deadline_missed >= 1);
+    let stats = client.stats().unwrap();
+    assert!(stats.deadline_missed >= 1);
+    // Deadline misses land on their own dedicated error counter.
+    assert!(
+        stats
+            .telemetry
+            .unwrap()
+            .counter("qoz_errors_total", &[("code", "deadline_exceeded")])
+            .unwrap_or(0)
+            >= 1
+    );
     // A request with a sane budget still succeeds afterwards.
     client
         .compress("field", &data, ErrorBound::Abs(1e-3), 30_000)
@@ -227,7 +271,21 @@ fn corrupt_frames_earn_typed_errors_and_daemon_stays_up() {
     // After all of the above, the daemon is healthy.
     let mut client = quick_client(ep);
     client.ping().unwrap();
-    assert!(client.stats().unwrap().bad_frames >= 4);
+    let stats = client.stats().unwrap();
+    assert!(stats.bad_frames >= 4);
+    // The legacy aggregate splits into dedicated counters: (a)-(c) are
+    // frame-level damage, (d) is a structurally-lying payload.
+    let t = stats.telemetry.unwrap();
+    assert!(
+        t.counter("qoz_errors_total", &[("code", "bad_frame")])
+            .unwrap_or(0)
+            >= 3
+    );
+    assert!(
+        t.counter("qoz_errors_total", &[("code", "bad_request")])
+            .unwrap_or(0)
+            >= 1
+    );
     server.shutdown().unwrap();
 }
 
@@ -244,7 +302,16 @@ fn draining_daemon_rejects_new_work_with_shutting_down() {
     }
     // Control plane still answers while draining.
     client.ping().unwrap();
-    assert!(client.stats().unwrap().shutdown_rejects >= 1);
+    let stats = client.stats().unwrap();
+    assert!(stats.shutdown_rejects >= 1);
+    assert!(
+        stats
+            .telemetry
+            .unwrap()
+            .counter("qoz_errors_total", &[("code", "shutting_down")])
+            .unwrap_or(0)
+            >= 1
+    );
     server.shutdown().unwrap();
 }
 
@@ -400,7 +467,16 @@ mod chaos_suite {
         client
             .compress("field", &data, ErrorBound::Abs(1e-3), 0)
             .unwrap();
-        assert!(client.stats().unwrap().worker_panics >= 1);
+        let stats = client.stats().unwrap();
+        assert!(stats.worker_panics >= 1);
+        assert!(
+            stats
+                .telemetry
+                .unwrap()
+                .counter("qoz_errors_total", &[("code", "worker_panic")])
+                .unwrap_or(0)
+                >= 1
+        );
         server.shutdown().unwrap();
     }
 

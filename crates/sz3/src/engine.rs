@@ -109,6 +109,7 @@ pub fn compress_with_spec_into<T: Scalar>(
     spec: &InterpSpec,
     scratch: &mut Scratch<T>,
 ) -> EngineStats {
+    let _span = qoz_telemetry::stages().predict_quantize.start();
     let shape = data.shape();
     scratch.clear();
     scratch.load_work(data.as_slice());
@@ -187,11 +188,25 @@ pub fn write_stream<T: Scalar>(
     let mut w = ByteWriter::with_capacity(scratch.bins.len() / 4 + 64);
     stream::write_header(&mut w, header);
     spec.write(&mut w);
-    qoz_codec::encode_bins_with(&scratch.bins, &mut scratch.entropy, &mut scratch.section);
+    {
+        let _span = qoz_telemetry::stages().encode.start();
+        qoz_codec::encode_bins_with(&scratch.bins, &mut scratch.entropy, &mut scratch.section);
+    }
     w.put_len_prefixed(&scratch.section);
-    qoz_codec::lossless_compress_with(&scratch.unpred, &mut scratch.entropy, &mut scratch.section);
-    w.put_len_prefixed(&scratch.section);
-    qoz_codec::lossless_compress_with(&scratch.anchors, &mut scratch.entropy, &mut scratch.section);
+    {
+        let _span = qoz_telemetry::stages().entropy.start();
+        qoz_codec::lossless_compress_with(
+            &scratch.unpred,
+            &mut scratch.entropy,
+            &mut scratch.section,
+        );
+        w.put_len_prefixed(&scratch.section);
+        qoz_codec::lossless_compress_with(
+            &scratch.anchors,
+            &mut scratch.entropy,
+            &mut scratch.section,
+        );
+    }
     w.put_len_prefixed(&scratch.section);
     w.finish()
 }

@@ -142,15 +142,15 @@ fn warm_pipeline_decode_allocates_nothing() {
         // Cold decode: buffers grow (that's what the counter counts).
         pipe.decompress_into(&blob, &mut dest).unwrap();
         assert!(
-            pipe.decode_grow_events() > 0,
+            pipe.stats().decode_grow_events > 0,
             "{backend:?}: cold decode must have grown stage buffers"
         );
         // Warm decodes: same stream, same destination — zero growth.
         for pass in 0..3 {
-            let before = pipe.decode_grow_events();
+            let before = pipe.stats().decode_grow_events;
             pipe.decompress_into(&blob, &mut dest).unwrap();
             assert_eq!(
-                pipe.decode_grow_events(),
+                pipe.stats().decode_grow_events,
                 before,
                 "{backend:?} warm pass {pass} allocated a stage buffer"
             );
