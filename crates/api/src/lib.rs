@@ -80,6 +80,11 @@ pub use session::{Compressed, Session, SessionBuilder, Target};
 /// [`Pipeline::last_outcome`].
 pub use qoz_core::PlanOutcome;
 
+/// Re-exports of the temporal-chain types surfaced by
+/// [`Pipeline::compress_next`] (see `qoz_temporal` for the residual
+/// model and the composed-bound contract).
+pub use qoz_temporal::{TemporalMode, TemporalOutcome};
+
 /// Identifies a compression backend (re-export of the stream-header id:
 /// a registry id *is* the id stored in every stream the backend emits).
 pub use qoz_codec::CompressorId as BackendId;

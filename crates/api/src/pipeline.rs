@@ -19,9 +19,10 @@
 
 use crate::registry::Codec;
 use crate::session::{Compressed, Session, Target};
-use crate::{BackendId, Result};
+use crate::{ApiError, BackendId, Result};
 use qoz_codec::{CompressStats, Scratch};
 use qoz_core::{PlanCache, PlanOutcome, Qoz};
+use qoz_temporal::{TemporalOutcome, TemporalSession};
 use qoz_tensor::{NdArray, Scalar};
 
 /// Counters describing how a [`Pipeline`] has served its calls.
@@ -49,12 +50,26 @@ pub struct PipelineStats {
     /// Stage buffers that had to grow during
     /// [`Pipeline::decompress_into`] calls (decode-side grow counters).
     pub decode_grow_events: u64,
+    /// Chain members coded independently by [`Pipeline::compress_next`]
+    /// because no usable predecessor existed (chain start, shape change).
+    pub chain_keyframes: u64,
+    /// Chain members delta-coded against the prior reconstruction.
+    pub chain_deltas: u64,
+    /// Chain members that were delta-eligible but coded independently
+    /// because the sampled estimate judged the residual denser than the
+    /// spatial stream.
+    pub chain_fallbacks: u64,
 }
 
 impl PipelineStats {
     /// Calls that skipped the tuning stage.
     pub fn warm(&self) -> u64 {
         self.warm_hits + self.warm_rescales
+    }
+
+    /// Chain members coded via [`Pipeline::compress_next`] so far.
+    pub fn chain_total(&self) -> u64 {
+        self.chain_keyframes + self.chain_deltas + self.chain_fallbacks
     }
 
     fn record(&mut self, outcome: PlanOutcome) {
@@ -93,6 +108,7 @@ pub struct Pipeline<T: Scalar> {
     session: Session,
     engine: Engine<T>,
     scratch: Scratch<T>,
+    temporal: TemporalSession<T>,
     stats: PipelineStats,
     last: Option<PlanOutcome>,
 }
@@ -120,6 +136,7 @@ impl<T: Scalar> Pipeline<T> {
         Pipeline {
             engine,
             scratch: Scratch::new(),
+            temporal: TemporalSession::new(),
             stats: PipelineStats::default(),
             last: None,
             session,
@@ -234,6 +251,116 @@ impl<T: Scalar> Pipeline<T> {
         Ok(out.stats)
     }
 
+    /// Compress one snapshot as the next member of a temporal chain.
+    ///
+    /// The pipeline holds a [`TemporalSession`]: the first call (and any
+    /// call after a shape change or [`Pipeline::reset_chain`]) emits an
+    /// independent *keyframe*; subsequent calls code the residual
+    /// against the previous snapshot's **reconstruction** whenever a
+    /// cheap sampled estimate says the residual is the cheaper stream,
+    /// falling back to a keyframe otherwise. Either way every member is
+    /// a self-describing temporal frame and honors the session bound
+    /// against its own raw input — the composed-bound contract (see
+    /// `qoz_temporal`) means error never accumulates along the chain.
+    ///
+    /// Inner streams run the same warm path as [`Pipeline::compress`]
+    /// (plan cache + scratch arena). Only [`Target::Bound`] sessions can
+    /// chain: quality targets re-search the bound per snapshot, which
+    /// has no stable composed-error story.
+    pub fn compress_next(&mut self, data: &NdArray<T>) -> Result<(TemporalOutcome, Compressed)> {
+        let Target::Bound(bound) = self.session.target() else {
+            return Err(ApiError::InvalidTarget(
+                "temporal chains require a bound target",
+            ));
+        };
+        let raw_bytes = (data.len() * T::BYTES) as u64;
+        let caps_before = self.scratch.capacities();
+        let Pipeline {
+            engine,
+            scratch,
+            temporal,
+            stats,
+            last,
+            session,
+        } = self;
+        let registry = session.registry();
+        let (outcome, blob) = temporal.compress_next(
+            data,
+            bound,
+            |field, field_bound| match engine {
+                Engine::Qoz(inner) => {
+                    let (qoz, cache) = &mut **inner;
+                    let (plan, outcome) = qoz.plan_cached(field, field_bound, cache);
+                    stats.record(outcome);
+                    *last = Some(outcome);
+                    qoz.compress_with_plan_scratched(field, &plan, &mut *scratch)
+                }
+                Engine::Other(codec) => {
+                    *last = None;
+                    codec.compress_with_scratch(field, field_bound, &mut *scratch)
+                }
+            },
+            |inner| registry.decompress(inner),
+        )?;
+        match outcome {
+            TemporalOutcome::Keyframe => self.stats.chain_keyframes += 1,
+            TemporalOutcome::Delta => self.stats.chain_deltas += 1,
+            TemporalOutcome::Fallback => self.stats.chain_fallbacks += 1,
+        }
+        self.stats.compress_grow_events += self
+            .scratch
+            .capacities()
+            .iter()
+            .zip(caps_before.iter())
+            .filter(|(now, before)| now > before)
+            .count() as u64;
+        Ok((
+            outcome,
+            Compressed {
+                stats: CompressStats {
+                    raw_bytes,
+                    compressed_bytes: blob.len() as u64,
+                },
+                blob,
+                rel_bound: None,
+                achieved: None,
+            },
+        ))
+    }
+
+    /// Decode the next member of a temporal chain and return its
+    /// reconstruction (borrowed from the pipeline's chain state; clone
+    /// to keep it past the next call).
+    ///
+    /// Feed chain members in order starting at a keyframe. Plain
+    /// (non-temporal) streams are accepted as chain resets, so archives
+    /// mixing independent and chained snapshots decode seamlessly; a
+    /// delta without a predecessor is a clean error, never a wrong
+    /// answer. Stage buffers ride the pipeline's scratch arena.
+    pub fn decompress_next(&mut self, blob: &[u8]) -> Result<&NdArray<T>> {
+        let Pipeline {
+            temporal,
+            scratch,
+            stats,
+            session,
+            ..
+        } = self;
+        let registry = session.registry();
+        let grows_before = scratch.decode_grow_events();
+        let recon = temporal.decompress_next(blob, |inner| {
+            registry.decompress_with_scratch(inner, &mut *scratch)
+        })?;
+        stats.decode_grow_events += scratch.decode_grow_events() - grows_before;
+        Ok(recon)
+    }
+
+    /// Forget the temporal chain: the next [`Pipeline::compress_next`]
+    /// emits a keyframe and the next [`Pipeline::decompress_next`]
+    /// requires one. Does not touch the plan cache or scratch arena.
+    pub fn reset_chain(&mut self) {
+        self.temporal.reset();
+    }
+
     /// Decompress any workspace stream (header-driven dispatch, same as
     /// [`Session::decompress`]).
     pub fn decompress(&self, blob: &[u8]) -> Result<NdArray<T>> {
@@ -252,18 +379,21 @@ impl<T: Scalar> Pipeline<T> {
     /// decoded through the registry with the same arena.
     pub fn decompress_into(&mut self, blob: &[u8], out: &mut NdArray<T>) -> Result<()> {
         let grows_before = self.scratch.decode_grow_events();
-        let header = crate::registry::peek_header(blob)?;
+        // Temporal keyframes carry a complete independent stream; strip
+        // the frame and decode as usual (deltas are rejected here — use
+        // `decompress_next`).
+        let (header, payload) = crate::registry::standalone_payload(blob)?;
         match &self.engine {
             Engine::Qoz(inner) if header.compressor == BackendId::Qoz => inner
                 .0
-                .decompress_into_scratched(blob, &mut self.scratch, out)?,
+                .decompress_into_scratched(payload, &mut self.scratch, out)?,
             Engine::Other(codec) if codec.id() == header.compressor => {
-                codec.decompress_into(blob, &mut self.scratch, out)?
+                codec.decompress_into(payload, &mut self.scratch, out)?
             }
             _ => self
                 .session
                 .registry()
-                .decompress_into(blob, &mut self.scratch, out)?,
+                .decompress_into(payload, &mut self.scratch, out)?,
         }
         self.stats.decode_grow_events += self.scratch.decode_grow_events() - grows_before;
         Ok(())
@@ -375,6 +505,124 @@ mod tests {
         assert_eq!(primed.last_outcome(), Some(PlanOutcome::WarmHit));
         assert_eq!(out.blob, cold.blob);
         assert_eq!(primed.stats().cold_tunes, 0);
+    }
+
+    fn drifting_series(snapshots: usize) -> Vec<NdArray<f32>> {
+        let shape = qoz_tensor::Shape::new(&[snapshots, 24, 24, 24]);
+        let field = qoz_datagen::time_series_like(shape, 0xC0FFEE);
+        (0..snapshots)
+            .map(|t| {
+                field.extract_region(&qoz_tensor::Region::new(&[t, 0, 0, 0], &[1, 24, 24, 24]))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chain_roundtrip_honors_bound_and_counts_outcomes() {
+        let snaps = drifting_series(5);
+        let session = Session::builder()
+            .bound(ErrorBound::Rel(1e-3))
+            .build()
+            .unwrap();
+        let mut enc = session.pipeline::<f32>();
+        let mut frames = Vec::new();
+        for s in &snaps {
+            let (_, out) = enc.compress_next(s).unwrap();
+            frames.push(out.blob);
+        }
+        assert_eq!(enc.stats().chain_total(), snaps.len() as u64);
+        assert!(
+            enc.stats().chain_keyframes >= 1,
+            "chains start at a keyframe"
+        );
+
+        let mut dec = session.pipeline::<f32>();
+        for (s, frame) in snaps.iter().zip(&frames) {
+            let abs = ErrorBound::Rel(1e-3).absolute(s);
+            let recon = dec.decompress_next(frame).unwrap();
+            assert!(s.max_abs_diff(recon) <= abs * (1.0 + 1e-9) + 4.0 * f32::EPSILON as f64);
+        }
+    }
+
+    #[test]
+    fn chain_bytes_identical_on_repeat() {
+        let snaps = drifting_series(3);
+        let session = Session::builder()
+            .bound(ErrorBound::Rel(1e-3))
+            .build()
+            .unwrap();
+        let run = || {
+            let mut pipe = session.pipeline::<f32>();
+            snaps
+                .iter()
+                .map(|s| pipe.compress_next(s).unwrap().1.blob)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run(), "chain coding must be deterministic");
+    }
+
+    #[test]
+    fn keyframe_decodes_standalone_but_delta_does_not() {
+        let snaps = drifting_series(3);
+        let session = Session::builder()
+            .bound(ErrorBound::Rel(1e-3))
+            .build()
+            .unwrap();
+        let mut pipe = session.pipeline::<f32>();
+        let mut frames = Vec::new();
+        let mut outcomes = Vec::new();
+        for s in &snaps {
+            let (o, out) = pipe.compress_next(s).unwrap();
+            outcomes.push(o);
+            frames.push(out.blob);
+        }
+        assert_eq!(outcomes[0], qoz_temporal::TemporalOutcome::Keyframe);
+        // A keyframe is a complete stream: Session::decompress strips
+        // the frame transparently...
+        let recon: NdArray<f32> = session.decompress(&frames[0]).unwrap();
+        let abs = ErrorBound::Rel(1e-3).absolute(&snaps[0]);
+        assert!(snaps[0].max_abs_diff(&recon) <= abs * (1.0 + 1e-9));
+        // ...and the keyframe's inner bytes equal the independent encode
+        // of the same snapshot (the frame only adds the outer header).
+        let plain = session.compress(&snaps[0]).unwrap();
+        let (_, inner) = qoz_codec::stream::unwrap_temporal(&frames[0]).unwrap();
+        assert_eq!(inner, &plain.blob[..], "keyframe payload = plain stream");
+        // A delta member without its chain is a clean error everywhere.
+        if let Some(delta) = outcomes
+            .iter()
+            .position(|&o| o == qoz_temporal::TemporalOutcome::Delta)
+        {
+            assert!(session.decompress::<f32>(&frames[delta]).is_err());
+            let mut out = NdArray::zeros(qoz_tensor::Shape::d1(1));
+            assert!(pipe.decompress_into(&frames[delta], &mut out).is_err());
+        }
+    }
+
+    #[test]
+    fn reset_chain_forces_a_keyframe() {
+        let snaps = drifting_series(3);
+        let session = Session::builder()
+            .bound(ErrorBound::Rel(1e-3))
+            .build()
+            .unwrap();
+        let mut pipe = session.pipeline::<f32>();
+        for s in &snaps {
+            pipe.compress_next(s).unwrap();
+        }
+        pipe.reset_chain();
+        let (o, _) = pipe.compress_next(&snaps[0]).unwrap();
+        assert_eq!(o, qoz_temporal::TemporalOutcome::Keyframe);
+    }
+
+    #[test]
+    fn quality_targets_cannot_chain() {
+        let snaps = drifting_series(1);
+        let session = Session::builder().psnr(50.0).build().unwrap();
+        let mut pipe = session.pipeline::<f32>();
+        assert!(matches!(
+            pipe.compress_next(&snaps[0]),
+            Err(crate::ApiError::InvalidTarget(_))
+        ));
     }
 
     #[test]

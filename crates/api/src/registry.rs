@@ -7,8 +7,8 @@
 //! replaced by [`BackendRegistry`] and have since been deleted.
 
 use crate::{ApiError, BackendId};
-use qoz_codec::stream::read_header;
-use qoz_codec::{ByteReader, Compressor, Header, Scratch};
+use qoz_codec::stream::{read_header, unwrap_temporal, TemporalMode};
+use qoz_codec::{ByteReader, CodecError, Compressor, Header, Scratch};
 use qoz_metrics::QualityMetric;
 use qoz_tensor::{NdArray, Scalar};
 
@@ -103,9 +103,15 @@ impl BackendRegistry {
 
     /// Decompress any workspace stream, dispatching on the header's
     /// compressor id.
+    ///
+    /// Temporal *keyframes* decode here too — their payload is a
+    /// complete independent stream, so the frame is stripped
+    /// transparently. Temporal *deltas* are meaningless without their
+    /// chain predecessor and are rejected with a clear error; decode
+    /// them through [`crate::Pipeline::decompress_next`].
     pub fn decompress<T: Scalar>(&self, blob: &[u8]) -> qoz_codec::Result<NdArray<T>> {
-        let header = peek_header(blob)?;
-        self.codec::<T>(header.compressor).decompress(blob)
+        let (header, payload) = standalone_payload(blob)?;
+        self.codec::<T>(header.compressor).decompress(payload)
     }
 
     /// [`BackendRegistry::decompress`] staging its stage buffers in a
@@ -115,9 +121,9 @@ impl BackendRegistry {
         blob: &[u8],
         scratch: &mut Scratch<T>,
     ) -> qoz_codec::Result<NdArray<T>> {
-        let header = peek_header(blob)?;
+        let (header, payload) = standalone_payload(blob)?;
         self.codec::<T>(header.compressor)
-            .decompress_with_scratch(blob, scratch)
+            .decompress_with_scratch(payload, scratch)
     }
 
     /// [`BackendRegistry::decompress`] into a caller-provided array,
@@ -129,9 +135,9 @@ impl BackendRegistry {
         scratch: &mut Scratch<T>,
         out: &mut NdArray<T>,
     ) -> qoz_codec::Result<()> {
-        let header = peek_header(blob)?;
+        let (header, payload) = standalone_payload(blob)?;
         self.codec::<T>(header.compressor)
-            .decompress_into(blob, scratch, out)
+            .decompress_into(payload, scratch, out)
     }
 
     /// Streaming counterpart of [`BackendRegistry::decompress`]: read a
@@ -150,6 +156,24 @@ impl BackendRegistry {
 pub fn peek_header(blob: &[u8]) -> qoz_codec::Result<Header> {
     let mut r = ByteReader::new(blob);
     read_header(&mut r)
+}
+
+/// Resolve a blob to the plain stream a standalone decode can consume:
+/// plain streams pass through, temporal keyframes are unwrapped to
+/// their (complete, independent) payload, temporal deltas are rejected
+/// — they need the chain decode in [`crate::Pipeline::decompress_next`].
+pub(crate) fn standalone_payload(blob: &[u8]) -> qoz_codec::Result<(Header, &[u8])> {
+    let header = peek_header(blob)?;
+    match header.temporal {
+        None => Ok((header, blob)),
+        Some(TemporalMode::Keyframe) => {
+            let (header, inner) = unwrap_temporal(blob)?;
+            Ok((header, inner))
+        }
+        Some(TemporalMode::Delta) => Err(CodecError::Corrupt(
+            "delta chain member requires chain decode (Pipeline::decompress_next)",
+        )),
+    }
 }
 
 /// Decompress any workspace stream with a default-configured registry.

@@ -15,17 +15,27 @@
 //! step appends its snapshot, and readers serve region queries over any
 //! timestep — including concurrently, through one shared reader handle.
 
-use crate::format::{fnv1a, snapshot_name, Toc, MAGIC, SUPERBLOCK_LEN, VERSION};
+use crate::format::{fnv1a, snapshot_name, TemporalKind, Toc, VarMeta, MAGIC, SUPERBLOCK_LEN};
 use crate::reader::ArchiveReader;
 use crate::source::{ByteSource, FileSource, SliceSource};
 use crate::writer::ArchiveWriter;
 use crate::{ArchiveError, Result};
 use qoz_codec::stream::{Compressor, ErrorBound};
 use qoz_codec::ByteWriter;
+use qoz_temporal::{accumulate_residual, form_residual, TemporalSession};
 use qoz_tensor::{NdArray, Scalar};
 
 /// Streaming copy granularity for the existing payload during write-out.
 const COPY_CHUNK: usize = 1 << 20;
+
+/// Count a chained-snapshot outcome on the same telemetry series the
+/// in-memory `TemporalSession` uses, so archive and stream chains share
+/// one `qoz_temporal_outcomes_total{mode}` view.
+fn record_chain_outcome(mode: &'static str) {
+    qoz_telemetry::global()
+        .counter("qoz_temporal_outcomes_total", &[("mode", mode)])
+        .inc();
+}
 
 /// Grows an existing archive: stage new variables, then write the
 /// rewritten container (old payload kept in place, byte-for-byte).
@@ -124,6 +134,128 @@ impl<S: ByteSource> ArchiveAppender<S> {
         self.add_variable(&snapshot_name(base, t), data, compressor, bound)
     }
 
+    /// Stage `data` as timestep `t` of `base`, delta-coded against the
+    /// latest earlier snapshot of the series when that pays off.
+    ///
+    /// The predecessor's **reconstruction** (chain-resolved across both
+    /// stored and staged snapshots) is rebuilt, the residual estimated
+    /// with the same sampled keyframe policy as
+    /// `qoz_temporal::TemporalSession`, and the snapshot stored either
+    /// as a [`TemporalKind::Keyframe`] or as a [`TemporalKind::Delta`]
+    /// whose chunks hold the residual field, compressed at the absolute
+    /// bound resolved against the *snapshot* — so any
+    /// `ArchiveReader::read_region` on the chain honors `bound` against
+    /// the raw data, however many deltas deep. Returns the kind stored.
+    ///
+    /// The first snapshot of a series (or one whose shape/type differs
+    /// from its predecessor) is always a keyframe.
+    pub fn add_snapshot_chained<T, C>(
+        &mut self,
+        base: &str,
+        t: u64,
+        data: &NdArray<T>,
+        compressor: &C,
+        bound: ErrorBound,
+    ) -> Result<TemporalKind>
+    where
+        T: Scalar,
+        C: Compressor<T> + Sync + ?Sized,
+    {
+        let name = snapshot_name(base, t);
+        if self.reader.toc().vars.iter().any(|v| v.name == name) {
+            return Err(ArchiveError::DuplicateVariable(name));
+        }
+        // The chain predecessor: the latest snapshot of `base` strictly
+        // before `t`, staged or already stored.
+        let prev = self
+            .reader
+            .toc()
+            .snapshots(base)
+            .into_iter()
+            .chain(self.writer.toc().snapshots(base))
+            .filter(|&(pt, _)| pt < t)
+            .max_by_key(|&(pt, _)| pt)
+            .map(|(_, v)| (v.name.clone(), v.shape, v.scalar_tag));
+        let usable = prev
+            .as_ref()
+            .filter(|(_, shape, tag)| *shape == data.shape() && *tag == T::TYPE_TAG);
+        let keyframe = |s: &mut Self| -> Result<TemporalKind> {
+            s.writer
+                .add_variable_kind(&name, data, compressor, bound, TemporalKind::Keyframe)?;
+            Ok(TemporalKind::Keyframe)
+        };
+        let Some((prev_name, _, _)) = usable.cloned() else {
+            record_chain_outcome("keyframe");
+            return keyframe(self);
+        };
+        let prev_recon: NdArray<T> = self.reconstruct_snapshot(&prev_name)?;
+        if !TemporalSession::residual_beats_spatial(data, &prev_recon) {
+            record_chain_outcome("fallback");
+            return keyframe(self);
+        }
+        // Resolve the bound against the snapshot, never the residual's
+        // own (much smaller) value range — the composed-bound contract.
+        let abs = bound.absolute(data);
+        let mut residual = NdArray::zeros(data.shape());
+        form_residual(&mut residual, data, &prev_recon)?;
+        self.writer.add_variable_kind(
+            &name,
+            &residual,
+            compressor,
+            ErrorBound::Abs(abs),
+            TemporalKind::Delta {
+                prev: prev_name.clone(),
+            },
+        )?;
+        record_chain_outcome("delta");
+        Ok(TemporalKind::Delta { prev: prev_name })
+    }
+
+    /// Rebuild the reconstruction of a snapshot variable, resolving its
+    /// temporal chain across both the existing archive and the staged
+    /// (not yet written) variables of this appender.
+    pub fn reconstruct_snapshot<T: Scalar>(&self, name: &str) -> Result<NdArray<T>> {
+        match self.writer.toc().var(name) {
+            Ok(v) => {
+                let mut field = self.staged_full::<T>(v)?;
+                if let TemporalKind::Delta { prev } = &v.temporal {
+                    // Staged deltas only ever reference snapshots staged
+                    // earlier or already stored, so this recursion walks
+                    // strictly backward and terminates.
+                    let mut acc = self.reconstruct_snapshot::<T>(prev)?;
+                    accumulate_residual(&mut acc, &field)?;
+                    field = acc;
+                }
+                Ok(field)
+            }
+            // Stored variables chain-resolve inside the reader.
+            Err(_) => self.reader.read_full(name),
+        }
+    }
+
+    /// Decode a staged variable's chunks straight from the staging
+    /// payload (raw: a delta variable yields its residual field).
+    fn staged_full<T: Scalar>(&self, v: &VarMeta) -> Result<NdArray<T>> {
+        if v.scalar_tag != T::TYPE_TAG {
+            return Err(ArchiveError::TypeMismatch {
+                stored: v.scalar_tag,
+                requested: T::TYPE_TAG,
+            });
+        }
+        let codec = qoz_api::BackendRegistry::new().codec::<T>(v.compressor);
+        let payload = self.writer.payload();
+        let mut out = NdArray::zeros(v.shape);
+        for (entry, region) in v.chunks.iter().zip(v.chunk_regions()) {
+            let blob = &payload[entry.offset as usize..(entry.offset + entry.len) as usize];
+            let chunk = codec.decompress(blob)?;
+            if chunk.shape().dims() != region.size() {
+                return Err(ArchiveError::Corrupt("staged chunk disagrees with index"));
+            }
+            out.insert_region(&region, &chunk);
+        }
+        Ok(out)
+    }
+
     /// The merged TOC the rewritten archive will carry: existing
     /// variables verbatim, staged variables rebased behind them.
     pub fn merged_toc(&self) -> Toc {
@@ -144,10 +276,11 @@ impl<S: ByteSource> ArchiveAppender<S> {
     /// bounded pieces, then the staged payload. Returns bytes written.
     pub fn write_into(&self, sink: &mut dyn std::io::Write) -> Result<u64> {
         let io_err = |e: std::io::Error| ArchiveError::Io(format!("archive sink: {e}"));
-        let toc_bytes = self.merged_toc().encode();
+        let merged = self.merged_toc();
+        let toc_bytes = merged.encode();
         let mut sb = ByteWriter::with_capacity(SUPERBLOCK_LEN);
         sb.put_bytes(&MAGIC);
-        sb.put_u8(VERSION);
+        sb.put_u8(merged.version());
         sb.put_u8(0); // flags, reserved
         sb.put_u64(toc_bytes.len() as u64);
         let sb = sb.finish();
@@ -294,6 +427,134 @@ mod tests {
             let got: NdArray<f32> = r.read_full(&meta.name).unwrap();
             assert!(field(t as usize).max_abs_diff(&got) <= 1e-3 * (1.0 + 1e-9));
         }
+    }
+
+    /// A smooth field drifting slowly in time — residuals between steps
+    /// are near-constant, so the chained path should pick deltas.
+    fn drift(t: usize) -> NdArray<f32> {
+        NdArray::from_fn(Shape::d3(9, 8, 7), |i| {
+            (i[0] as f32 * 0.3).sin()
+                + (i[1] as f32 * 0.2).cos() * i[2] as f32 * 0.1
+                + t as f32 * 0.01
+        })
+    }
+
+    #[test]
+    fn chained_snapshots_delta_code_and_read_back_within_bound() {
+        let c = qoz_sz3::Sz3::default();
+        let mut bytes = base_archive();
+        for t in 0..4u64 {
+            let mut app = ArchiveAppender::from_bytes(&bytes)
+                .unwrap()
+                .with_chunk_side(4);
+            let kind = app
+                .add_snapshot_chained("u", t, &drift(t as usize), &c, ErrorBound::Abs(1e-3))
+                .unwrap();
+            if t == 0 {
+                assert_eq!(kind, TemporalKind::Keyframe);
+            } else {
+                assert_eq!(
+                    kind,
+                    TemporalKind::Delta {
+                        prev: snapshot_name("u", t - 1)
+                    }
+                );
+            }
+            bytes = app.finish();
+        }
+        assert_eq!(bytes[4], crate::format::VERSION_TEMPORAL);
+        let r = ArchiveReader::from_bytes(&bytes).unwrap();
+        // Every member of the chain honors the bound against its raw
+        // snapshot — deltas do not accumulate error.
+        for t in 0..4u64 {
+            let got: NdArray<f32> = r.read_full(&snapshot_name("u", t)).unwrap();
+            assert!(
+                drift(t as usize).max_abs_diff(&got) <= 1e-3 * (1.0 + 1e-9),
+                "chain member t={t} violates the bound"
+            );
+        }
+        // A region read on a deep delta member resolves its whole chain.
+        let roi = Region::new(&[2, 2, 1], &[4, 3, 4]);
+        let slab: NdArray<f32> = r.read_region(&snapshot_name("u", 3), &roi).unwrap();
+        assert_eq!(slab.as_slice(), {
+            let full: NdArray<f32> = r.read_full(&snapshot_name("u", 3)).unwrap();
+            full.extract_region(&roi).into_vec()
+        });
+        assert_eq!(r.verify().unwrap().vars, 5);
+    }
+
+    #[test]
+    fn chain_within_a_single_append_resolves_staged_predecessors() {
+        let c = qoz_sz3::Sz3::default();
+        let base = base_archive();
+        let mut app = ArchiveAppender::from_bytes(&base)
+            .unwrap()
+            .with_chunk_side(4);
+        for t in 0..3u64 {
+            app.add_snapshot_chained("u", t, &drift(t as usize), &c, ErrorBound::Abs(1e-3))
+                .unwrap();
+        }
+        // The staged reconstruction must equal what the written archive
+        // serves for the same snapshot.
+        let staged: NdArray<f32> = app.reconstruct_snapshot(&snapshot_name("u", 2)).unwrap();
+        let r_bytes = app.finish();
+        let r = ArchiveReader::from_bytes(&r_bytes).unwrap();
+        let stored: NdArray<f32> = r.read_full(&snapshot_name("u", 2)).unwrap();
+        assert_eq!(staged.as_slice(), stored.as_slice());
+        assert!(drift(2).max_abs_diff(&stored) <= 1e-3 * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn regime_change_and_shape_change_fall_back_to_keyframes() {
+        let c = qoz_sz3::Sz3::default();
+        let base = base_archive();
+        let mut app = ArchiveAppender::from_bytes(&base)
+            .unwrap()
+            .with_chunk_side(4);
+        app.add_snapshot_chained("u", 0, &drift(0), &c, ErrorBound::Abs(1e-3))
+            .unwrap();
+        // Sign-flipped field: the residual is twice as rough as the data,
+        // so the sampled estimator must refuse the delta.
+        let flipped = NdArray::from_fn(Shape::d3(9, 8, 7), |i| {
+            -((i[0] as f32 * 0.3).sin() + (i[1] as f32 * 0.2).cos() * i[2] as f32 * 0.1)
+        });
+        assert_eq!(
+            app.add_snapshot_chained("u", 1, &flipped, &c, ErrorBound::Abs(1e-3))
+                .unwrap(),
+            TemporalKind::Keyframe
+        );
+        // A shape change can never delta-code.
+        let regridded = NdArray::<f32>::from_fn(Shape::d3(6, 6, 6), |i| i[0] as f32 * 0.1);
+        assert_eq!(
+            app.add_snapshot_chained("u", 2, &regridded, &c, ErrorBound::Abs(1e-3))
+                .unwrap(),
+            TemporalKind::Keyframe
+        );
+        let r_bytes = app.finish();
+        let r = ArchiveReader::from_bytes(&r_bytes).unwrap();
+        let got: NdArray<f32> = r.read_full(&snapshot_name("u", 1)).unwrap();
+        assert!(flipped.max_abs_diff(&got) <= 1e-3 * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn independent_append_keeps_container_version_one() {
+        let base = base_archive();
+        let mut app = ArchiveAppender::from_bytes(&base)
+            .unwrap()
+            .with_chunk_side(4);
+        app.add_variable(
+            "vel",
+            &field(3),
+            &qoz_sz3::Sz3::default(),
+            ErrorBound::Abs(1e-3),
+        )
+        .unwrap();
+        let grown = app.finish();
+        assert_eq!(
+            grown[4],
+            crate::format::VERSION,
+            "no chained variables: container must stay v1"
+        );
     }
 
     #[test]

@@ -46,6 +46,12 @@ use qoz_tensor::{Region, Shape};
 
 /// 4-byte container magic: "QZAR" (QoZ archive).
 pub const MAGIC: [u8; 4] = *b"QZAR";
+/// Container version that adds per-variable temporal-chain records:
+/// each var record carries a [`TemporalKind`] tag (and, for deltas, the
+/// predecessor's name) right after the compressor byte. Archives whose
+/// variables are all [`TemporalKind::Independent`] keep emitting
+/// [`VERSION`], byte-identical to pre-temporal builds.
+pub const VERSION_TEMPORAL: u8 = 2;
 /// Sanity cap on a single variable's declared element count (2^36 ~
 /// 275 GB of f32). The TOC is plaintext with a non-cryptographic
 /// checksum, so declared sizes gate allocations: anything larger is
@@ -78,6 +84,48 @@ pub struct ChunkEntry {
     pub checksum: u64,
 }
 
+/// A variable's role in a temporal snapshot chain.
+///
+/// Delta variables store the **residual field** against the prior
+/// snapshot's reconstruction, chunked and compressed exactly like any
+/// other variable (each chunk is still an independent plain stream).
+/// The chain structure lives here, in the TOC, so
+/// `ArchiveReader::read_region` can resolve `x̂_t[R] = x̂_{t-1}[R] +
+/// r̂_t[R]` — residual addition commutes with region extraction, so
+/// chained region reads touch only the chunks each member's region
+/// intersects.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TemporalKind {
+    /// An ordinary variable, no chain membership.
+    #[default]
+    Independent,
+    /// A chain anchor: stored independently, deltas may reference it.
+    Keyframe,
+    /// Residual against `prev`'s reconstruction (`prev` is the full
+    /// variable name of the chain predecessor, which must appear
+    /// *earlier* in the TOC — chains are acyclic by construction).
+    Delta {
+        /// Name of the predecessor variable.
+        prev: String,
+    },
+}
+
+impl TemporalKind {
+    /// Serialized tag byte.
+    fn tag(&self) -> u8 {
+        match self {
+            TemporalKind::Independent => 0,
+            TemporalKind::Keyframe => 1,
+            TemporalKind::Delta { .. } => 2,
+        }
+    }
+
+    /// `true` for delta members — reads must resolve the chain.
+    pub fn is_delta(&self) -> bool {
+        matches!(self, TemporalKind::Delta { .. })
+    }
+}
+
 /// Metadata for one archived variable.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VarMeta {
@@ -95,6 +143,10 @@ pub struct VarMeta {
     pub chunk_side: usize,
     /// One entry per chunk, in `Region::tile` (row-major grid) order.
     pub chunks: Vec<ChunkEntry>,
+    /// Temporal-chain role ([`TemporalKind::Independent`] for ordinary
+    /// variables; anything else upgrades the container to
+    /// [`VERSION_TEMPORAL`]).
+    pub temporal: TemporalKind,
 }
 
 impl VarMeta {
@@ -161,8 +213,26 @@ impl Toc {
         out
     }
 
-    /// Serialize the TOC body (without superblock or checksum).
+    /// The container version this TOC requires: [`VERSION`] while every
+    /// variable is [`TemporalKind::Independent`] (the serialization is
+    /// then byte-identical to pre-temporal builds), [`VERSION_TEMPORAL`]
+    /// as soon as any chain record is present.
+    pub fn version(&self) -> u8 {
+        if self
+            .vars
+            .iter()
+            .any(|v| v.temporal != TemporalKind::Independent)
+        {
+            VERSION_TEMPORAL
+        } else {
+            VERSION
+        }
+    }
+
+    /// Serialize the TOC body (without superblock or checksum) in the
+    /// layout of [`Toc::version`].
     pub fn encode(&self) -> Vec<u8> {
+        let version = self.version();
         let mut w = ByteWriter::new();
         w.put_varint(self.vars.len() as u64);
         for v in &self.vars {
@@ -174,6 +244,12 @@ impl Toc {
             }
             w.put_f64(v.abs_eb);
             w.put_u8(v.compressor as u8);
+            if version == VERSION_TEMPORAL {
+                w.put_u8(v.temporal.tag());
+                if let TemporalKind::Delta { prev } = &v.temporal {
+                    w.put_len_prefixed(prev.as_bytes());
+                }
+            }
             w.put_varint(v.chunk_side as u64);
             w.put_varint(v.chunks.len() as u64);
             for c in &v.chunks {
@@ -186,7 +262,9 @@ impl Toc {
     }
 
     /// Parse and validate a TOC body against the payload extent.
-    pub fn decode(bytes: &[u8], payload_len: u64) -> Result<Toc> {
+    /// `version` is the container version from the superblock and
+    /// selects the variable-record layout.
+    pub fn decode(bytes: &[u8], payload_len: u64, version: u8) -> Result<Toc> {
         let mut r = ByteReader::new(bytes);
         let var_count = r.get_varint()?;
         // One chunk entry is >= 10 bytes; an absurd count is corruption,
@@ -231,6 +309,33 @@ impl Toc {
                 return Err(ArchiveError::Corrupt("bad error bound"));
             }
             let compressor = CompressorId::from_u8(r.get_u8()?)?;
+            let temporal = if version == VERSION_TEMPORAL {
+                match r.get_u8()? {
+                    0 => TemporalKind::Independent,
+                    1 => TemporalKind::Keyframe,
+                    2 => {
+                        let prev = std::str::from_utf8(r.get_len_prefixed()?)
+                            .map_err(|_| ArchiveError::Corrupt("predecessor name is not UTF-8"))?
+                            .to_string();
+                        // The predecessor must already be parsed (chains
+                        // are stored keyframe-first), share the member's
+                        // shape and element type, and anchor an acyclic
+                        // chain — earlier-only references cannot cycle.
+                        let p = vars.iter().find(|v: &&VarMeta| v.name == prev).ok_or(
+                            ArchiveError::Corrupt("delta predecessor not found earlier in TOC"),
+                        )?;
+                        if p.shape != shape || p.scalar_tag != scalar_tag {
+                            return Err(ArchiveError::Corrupt(
+                                "delta predecessor shape/type mismatch",
+                            ));
+                        }
+                        TemporalKind::Delta { prev }
+                    }
+                    _ => return Err(ArchiveError::Corrupt("unknown temporal kind")),
+                }
+            } else {
+                TemporalKind::Independent
+            };
             let chunk_side = r.get_varint()? as usize;
             if chunk_side == 0 {
                 return Err(ArchiveError::Corrupt("zero chunk side"));
@@ -281,6 +386,7 @@ impl Toc {
                 compressor,
                 chunk_side,
                 chunks,
+                temporal,
             });
         }
         if r.remaining() != 0 {
@@ -310,6 +416,7 @@ mod tests {
                         checksum: 0xDEAD_0000 + k,
                     })
                     .collect(),
+                temporal: TemporalKind::Independent,
             }],
         }
     }
@@ -318,7 +425,7 @@ mod tests {
     fn toc_roundtrip() {
         let toc = sample_toc();
         let bytes = toc.encode();
-        assert_eq!(Toc::decode(&bytes, 800).unwrap(), toc);
+        assert_eq!(Toc::decode(&bytes, 800, VERSION).unwrap(), toc);
     }
 
     #[test]
@@ -326,7 +433,7 @@ mod tests {
         let toc = sample_toc();
         let bytes = toc.encode();
         assert!(matches!(
-            Toc::decode(&bytes, 799),
+            Toc::decode(&bytes, 799, VERSION),
             Err(ArchiveError::Corrupt(_))
         ));
     }
@@ -336,7 +443,7 @@ mod tests {
         let mut toc = sample_toc();
         toc.vars[0].chunks.pop();
         let bytes = toc.encode();
-        assert!(Toc::decode(&bytes, 800).is_err());
+        assert!(Toc::decode(&bytes, 800, VERSION).is_err());
     }
 
     #[test]
@@ -344,7 +451,7 @@ mod tests {
         let mut toc = sample_toc();
         let dup = toc.vars[0].clone();
         toc.vars.push(dup);
-        assert!(Toc::decode(&toc.encode(), 1600).is_err());
+        assert!(Toc::decode(&toc.encode(), 1600, VERSION).is_err());
     }
 
     #[test]
@@ -352,7 +459,7 @@ mod tests {
         let bytes = sample_toc().encode();
         for cut in 0..bytes.len() {
             assert!(
-                Toc::decode(&bytes[..cut], 800).is_err(),
+                Toc::decode(&bytes[..cut], 800, VERSION).is_err(),
                 "truncation at {cut} accepted"
             );
         }
@@ -381,20 +488,20 @@ mod tests {
         // reader allocate for it.
         let bytes = encode_var_prefix(&[1 << 32, 1 << 32, 1 << 32]).finish();
         assert_eq!(
-            Toc::decode(&bytes, 800),
+            Toc::decode(&bytes, 800, VERSION),
             Err(ArchiveError::Corrupt("implausible variable size"))
         );
         // Above the per-variable cap with individually-legal dims.
         let bytes = encode_var_prefix(&[32, 1 << 32]).finish();
         assert_eq!(
-            Toc::decode(&bytes, 800),
+            Toc::decode(&bytes, 800, VERSION),
             Err(ArchiveError::Corrupt("implausible variable size"))
         );
         // At the cap is still structurally acceptable (fails later on
         // truncation, not on size).
         let bytes = encode_var_prefix(&[16, 1 << 32]).finish();
         assert_ne!(
-            Toc::decode(&bytes, 800),
+            Toc::decode(&bytes, 800, VERSION),
             Err(ArchiveError::Corrupt("implausible variable size"))
         );
     }
@@ -412,7 +519,7 @@ mod tests {
         w.put_varint(1 << 30); // chunk_count matches the grid
         let bytes = w.finish();
         assert_eq!(
-            Toc::decode(&bytes, u64::MAX),
+            Toc::decode(&bytes, u64::MAX, VERSION),
             Err(ArchiveError::Corrupt("implausible chunk count"))
         );
     }
@@ -459,5 +566,75 @@ mod tests {
     fn chunk_regions_match_entry_count() {
         let toc = sample_toc();
         assert_eq!(toc.vars[0].chunk_regions().len(), toc.vars[0].chunks.len());
+    }
+
+    #[test]
+    fn temporal_toc_roundtrips_and_bumps_version() {
+        let mut toc = sample_toc();
+        assert_eq!(toc.version(), VERSION, "all-independent stays v1");
+        let mut key = toc.vars[0].clone();
+        key.name = "u@t0".into();
+        key.temporal = TemporalKind::Keyframe;
+        let mut delta = toc.vars[0].clone();
+        delta.name = "u@t1".into();
+        delta.temporal = TemporalKind::Delta {
+            prev: "u@t0".into(),
+        };
+        toc.vars.push(key);
+        toc.vars.push(delta);
+        assert_eq!(toc.version(), VERSION_TEMPORAL);
+        let bytes = toc.encode();
+        assert_eq!(Toc::decode(&bytes, 800, VERSION_TEMPORAL).unwrap(), toc);
+    }
+
+    #[test]
+    fn delta_predecessor_must_appear_earlier_in_toc() {
+        let mut toc = sample_toc();
+        toc.vars[0].temporal = TemporalKind::Delta {
+            prev: "missing".into(),
+        };
+        assert_eq!(
+            Toc::decode(&toc.encode(), 800, VERSION_TEMPORAL),
+            Err(ArchiveError::Corrupt(
+                "delta predecessor not found earlier in TOC"
+            ))
+        );
+    }
+
+    #[test]
+    fn delta_predecessor_shape_mismatch_rejected() {
+        let mut toc = sample_toc();
+        let mut delta = toc.vars[0].clone();
+        delta.name = "d".into();
+        // Same chunk grid (2x2x2 at side 8), different extent — the
+        // temporal check must fire before chunk validation would pass.
+        delta.shape = Shape::d3(10, 12, 13);
+        delta.temporal = TemporalKind::Delta {
+            prev: "temperature".into(),
+        };
+        toc.vars.push(delta);
+        assert_eq!(
+            Toc::decode(&toc.encode(), 1600, VERSION_TEMPORAL),
+            Err(ArchiveError::Corrupt(
+                "delta predecessor shape/type mismatch"
+            ))
+        );
+    }
+
+    #[test]
+    fn unknown_temporal_kind_byte_rejected() {
+        let mut toc = sample_toc();
+        toc.vars[0].temporal = TemporalKind::Keyframe;
+        let v2 = toc.encode();
+        toc.vars[0].temporal = TemporalKind::Independent;
+        let v1 = toc.encode();
+        // The encodings first diverge exactly at the inserted kind byte.
+        let idx = v1.iter().zip(&v2).position(|(a, b)| a != b).unwrap();
+        let mut bytes = v2.clone();
+        bytes[idx] = 9;
+        assert_eq!(
+            Toc::decode(&bytes, 800, VERSION_TEMPORAL),
+            Err(ArchiveError::Corrupt("unknown temporal kind"))
+        );
     }
 }

@@ -60,7 +60,8 @@ pub mod writer;
 
 pub use appender::ArchiveAppender;
 pub use format::{
-    fnv1a, parse_snapshot_name, snapshot_name, ChunkEntry, Toc, VarMeta, MAGIC, VERSION,
+    fnv1a, parse_snapshot_name, snapshot_name, ChunkEntry, TemporalKind, Toc, VarMeta, MAGIC,
+    VERSION, VERSION_TEMPORAL,
 };
 pub use reader::{ArchiveReader, ChunkFault, FaultKind, VerifyReport};
 pub use source::{ByteSource, FileSource, SliceSource};

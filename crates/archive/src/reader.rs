@@ -7,7 +7,9 @@
 //! [`ArchiveReader::read_region_with`], or uses the internally-parallel
 //! [`ArchiveReader::read_region`].
 
-use crate::format::{fnv1a, Toc, VarMeta, MAGIC, SUPERBLOCK_LEN, VERSION};
+use crate::format::{
+    fnv1a, TemporalKind, Toc, VarMeta, MAGIC, SUPERBLOCK_LEN, VERSION, VERSION_TEMPORAL,
+};
 use crate::source::{ByteSource, FileSource, SliceSource};
 use crate::{ArchiveError, Result};
 use qoz_codec::Scratch;
@@ -127,15 +129,15 @@ impl<S: ByteSource> ArchiveReader<S> {
             return Err(ArchiveError::BadMagic);
         }
         let version = sb[4];
-        if version > VERSION {
+        if version > VERSION_TEMPORAL {
             return Err(ArchiveError::NewerFormat {
                 found: version,
-                supported: VERSION,
+                supported: VERSION_TEMPORAL,
             });
         }
         // Lower-than-ever-released versions are corruption, not a format
         // to "upgrade" for — don't tell the user to chase a newer build.
-        if version != VERSION {
+        if version < VERSION {
             return Err(ArchiveError::Corrupt("bad container version"));
         }
         if sb[5] != 0 {
@@ -156,7 +158,7 @@ impl<S: ByteSource> ArchiveReader<S> {
         }
         let payload_start = SUPERBLOCK_LEN as u64 + toc_len + 8;
         let payload_len = src.len() - payload_start;
-        let toc = Toc::decode(&toc_bytes, payload_len)?;
+        let toc = Toc::decode(&toc_bytes, payload_len, version)?;
         Ok(ArchiveReader {
             src,
             toc,
@@ -249,6 +251,31 @@ impl<S: ByteSource> ArchiveReader<S> {
         Ok(idx)
     }
 
+    /// Resolve the temporal chain that reconstructs `name`: variable
+    /// indices from the chain base (a keyframe or independent variable)
+    /// through `name` itself. Ordinary variables resolve to a
+    /// single-element chain, so the non-temporal read path is unchanged.
+    fn chain_indices<T: Scalar>(&self, name: &str) -> Result<Vec<usize>> {
+        let mut chain = vec![self.var_index::<T>(name)?];
+        loop {
+            let v = &self.toc.vars[*chain.last().expect("non-empty")];
+            match &v.temporal {
+                TemporalKind::Delta { prev } => {
+                    // The TOC decoder already enforces earlier-only
+                    // predecessor references; the length guard keeps a
+                    // hand-built TOC from looping us regardless.
+                    if chain.len() > self.toc.vars.len() {
+                        return Err(ArchiveError::Corrupt("temporal chain cycle"));
+                    }
+                    chain.push(self.var_index::<T>(prev)?);
+                }
+                _ => break,
+            }
+        }
+        chain.reverse();
+        Ok(chain)
+    }
+
     /// Decompress the slab of `var` covered by `region`, touching only
     /// the chunks the region intersects.
     ///
@@ -259,8 +286,26 @@ impl<S: ByteSource> ArchiveReader<S> {
     /// same way bulk dumps do. The result is a dense array of the
     /// region's size, bitwise equal to slicing the same region out of a
     /// full decompress.
+    ///
+    /// Temporal delta snapshots are resolved transparently: the same
+    /// region is read from every chain member (base keyframe first) and
+    /// the residuals accumulated — addition commutes with region
+    /// extraction, so a chained region read still touches only the
+    /// chunks each member's region intersects, never whole snapshots.
     pub fn read_region<T: Scalar>(&self, name: &str, region: &Region) -> Result<NdArray<T>> {
-        let (var_idx, grid, hits) = self.plan_region::<T>(name, region)?;
+        let chain = self.chain_indices::<T>(name)?;
+        let mut acc = self.read_region_member::<T>(chain[0], region)?;
+        for &idx in &chain[1..] {
+            let residual = self.read_region_member::<T>(idx, region)?;
+            qoz_temporal::accumulate_residual(&mut acc, &residual)?;
+        }
+        Ok(acc)
+    }
+
+    /// One chain member's (raw) region slab — for delta members this is
+    /// the residual field, not a reconstruction.
+    fn read_region_member<T: Scalar>(&self, var_idx: usize, region: &Region) -> Result<NdArray<T>> {
+        let (grid, hits) = self.plan_region(var_idx, region)?;
         let mut blobs = Vec::with_capacity(hits.len());
         for &(k, _) in &hits {
             blobs.push(self.fetch_chunk(var_idx, k)?);
@@ -285,14 +330,30 @@ impl<S: ByteSource> ArchiveReader<S> {
     /// shared reader — per-query worker pools only oversubscribe the
     /// machine. Each thread keeps one arena and calls this; chunk
     /// streams decode one at a time through it, values bitwise equal to
-    /// [`ArchiveReader::read_region`].
+    /// [`ArchiveReader::read_region`]. Temporal chains resolve exactly
+    /// as in [`ArchiveReader::read_region`].
     pub fn read_region_with<T: Scalar>(
         &self,
         name: &str,
         region: &Region,
         scratch: &mut Scratch<T>,
     ) -> Result<NdArray<T>> {
-        let (var_idx, grid, hits) = self.plan_region::<T>(name, region)?;
+        let chain = self.chain_indices::<T>(name)?;
+        let mut acc = self.read_region_member_with::<T>(chain[0], region, scratch)?;
+        for &idx in &chain[1..] {
+            let residual = self.read_region_member_with::<T>(idx, region, scratch)?;
+            qoz_temporal::accumulate_residual(&mut acc, &residual)?;
+        }
+        Ok(acc)
+    }
+
+    fn read_region_member_with<T: Scalar>(
+        &self,
+        var_idx: usize,
+        region: &Region,
+        scratch: &mut Scratch<T>,
+    ) -> Result<NdArray<T>> {
+        let (grid, hits) = self.plan_region(var_idx, region)?;
         let codec = qoz_api::BackendRegistry::new().codec::<T>(self.toc.vars[var_idx].compressor);
         let mut chunks = Vec::with_capacity(hits.len());
         for &(k, _) in &hits {
@@ -306,15 +367,14 @@ impl<S: ByteSource> ArchiveReader<S> {
         Ok(slab)
     }
 
-    /// Bounds-check a query and map it onto the chunk grid: the variable
-    /// index, the grid, and the `(chunk, overlap)` pairs it intersects.
+    /// Bounds-check a query and map it onto the chunk grid: the grid,
+    /// and the `(chunk, overlap)` pairs the region intersects.
     #[allow(clippy::type_complexity)]
-    fn plan_region<T: Scalar>(
+    fn plan_region(
         &self,
-        name: &str,
+        var_idx: usize,
         region: &Region,
-    ) -> Result<(usize, Vec<Region>, Vec<(usize, Region)>)> {
-        let var_idx = self.var_index::<T>(name)?;
+    ) -> Result<(Vec<Region>, Vec<(usize, Region)>)> {
         let shape = self.toc.vars[var_idx].shape;
         // Checked addition: a wrapped `origin + size` must not slip past
         // the bounds check and quietly return a zero-filled slab.
@@ -333,7 +393,7 @@ impl<S: ByteSource> ArchiveReader<S> {
             .enumerate()
             .filter_map(|(k, cr)| cr.intersect(region).map(|overlap| (k, overlap)))
             .collect();
-        Ok((var_idx, grid, hits))
+        Ok((grid, hits))
     }
 
     /// Decompress a whole variable (a [`ArchiveReader::read_region`]
@@ -390,13 +450,34 @@ impl<S: ByteSource> ArchiveReader<S> {
     /// the daemon's "degraded read" answer. Structural errors that make
     /// the query itself meaningless (unknown variable, type mismatch,
     /// out-of-bounds region) still fail hard.
+    /// Temporal chains degrade per member: a damaged chunk in any chain
+    /// member zero-fills that member's contribution to the slab (for a
+    /// delta member that reads as "no change there") and is reported in
+    /// the fault list like any other damage.
     pub fn read_region_tolerant<T: Scalar>(
         &self,
         name: &str,
         region: &Region,
         scratch: &mut Scratch<T>,
     ) -> Result<(NdArray<T>, Vec<ChunkFault>)> {
-        let (var_idx, grid, hits) = self.plan_region::<T>(name, region)?;
+        let chain = self.chain_indices::<T>(name)?;
+        let (mut acc, mut all_faults) =
+            self.read_region_member_tolerant::<T>(chain[0], region, scratch)?;
+        for &idx in &chain[1..] {
+            let (residual, faults) = self.read_region_member_tolerant::<T>(idx, region, scratch)?;
+            all_faults.extend(faults);
+            qoz_temporal::accumulate_residual(&mut acc, &residual)?;
+        }
+        Ok((acc, all_faults))
+    }
+
+    fn read_region_member_tolerant<T: Scalar>(
+        &self,
+        var_idx: usize,
+        region: &Region,
+        scratch: &mut Scratch<T>,
+    ) -> Result<(NdArray<T>, Vec<ChunkFault>)> {
+        let (grid, hits) = self.plan_region(var_idx, region)?;
         let codec = qoz_api::BackendRegistry::new().codec::<T>(self.toc.vars[var_idx].compressor);
         let mut clean_hits = Vec::with_capacity(hits.len());
         let mut chunks = Vec::with_capacity(hits.len());
@@ -477,8 +558,13 @@ pub fn describe(toc: &Toc) -> Vec<String> {
             } else {
                 format!("tag {:#04x}", v.scalar_tag)
             };
+            let chain = match &v.temporal {
+                TemporalKind::Independent => String::new(),
+                TemporalKind::Keyframe => ", keyframe".to_string(),
+                TemporalKind::Delta { prev } => format!(", delta of {prev}"),
+            };
             format!(
-                "{}: {:?} {ty} via {}, eb={:.3e}, {} chunks (side {}), {} bytes",
+                "{}: {:?} {ty} via {}, eb={:.3e}, {} chunks (side {}), {} bytes{chain}",
                 v.name,
                 v.shape.dims(),
                 v.compressor.name(),
@@ -746,7 +832,7 @@ mod tests {
     #[test]
     fn newer_container_version_reported() {
         let mut bytes = archive();
-        bytes[4] = VERSION + 1;
+        bytes[4] = VERSION_TEMPORAL + 1;
         let err = ArchiveReader::from_bytes(&bytes).unwrap_err();
         assert!(err.is_newer_format(), "{err}");
         // A version below anything ever released is corruption — the

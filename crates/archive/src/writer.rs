@@ -1,6 +1,6 @@
 //! Building QZAR archives.
 
-use crate::format::{fnv1a, ChunkEntry, Toc, VarMeta, MAGIC, VERSION};
+use crate::format::{fnv1a, ChunkEntry, TemporalKind, Toc, VarMeta, MAGIC};
 use crate::{ArchiveError, Result};
 use qoz_codec::stream::{Compressor, ErrorBound};
 use qoz_codec::ByteWriter;
@@ -127,7 +127,34 @@ impl ArchiveWriter {
             compressor: compressor.id(),
             chunk_side: self.chunk_side,
             chunks: entries,
+            temporal: TemporalKind::Independent,
         });
+        Ok(())
+    }
+
+    /// [`ArchiveWriter::add_variable`] with an explicit temporal-chain
+    /// role — the appender's chained-snapshot path stages keyframes and
+    /// residual (delta) variables through this. For deltas, `data` is
+    /// the residual field and `bound` must already be the absolute bound
+    /// resolved against the *snapshot* (never the residual's own range).
+    pub(crate) fn add_variable_kind<T, C>(
+        &mut self,
+        name: &str,
+        data: &NdArray<T>,
+        compressor: &C,
+        bound: ErrorBound,
+        kind: TemporalKind,
+    ) -> Result<()>
+    where
+        T: Scalar,
+        C: Compressor<T> + Sync + ?Sized,
+    {
+        self.add_variable(name, data, compressor, bound)?;
+        self.toc
+            .vars
+            .last_mut()
+            .expect("add_variable just pushed")
+            .temporal = kind;
         Ok(())
     }
 
@@ -142,7 +169,7 @@ impl ArchiveWriter {
         let io_err = |e: std::io::Error| ArchiveError::Io(format!("archive sink: {e}"));
         let mut sb = ByteWriter::with_capacity(crate::format::SUPERBLOCK_LEN);
         sb.put_bytes(&MAGIC);
-        sb.put_u8(VERSION);
+        sb.put_u8(self.toc.version());
         sb.put_u8(0); // flags, reserved
         sb.put_u64(toc_bytes.len() as u64);
         let sb = sb.finish();

@@ -187,7 +187,7 @@ fn bench_throughput(o: &Opts) {
     let stage_breakdown = bench_stage_breakdown(o);
     let json = format!(
         concat!(
-            "{{\n  \"schema\": \"qoz-suite/bench-throughput/v5\",\n",
+            "{{\n  \"schema\": \"qoz-suite/bench-throughput/v6\",\n",
             "  \"size_class\": \"{:?}\",\n",
             "  \"unit\": \"MB/s of raw f32 data\",\n",
             "  \"entries\": [\n{}\n  ],\n",
@@ -299,6 +299,12 @@ fn bench_random_access(o: &Opts) -> Vec<String> {
 /// both, the steady-state warm rate (first/cold call excluded), and the
 /// plan-cache counters; verifies every warm stream against its error
 /// bound and checks warm-vs-cold byte equality on a repeated snapshot.
+///
+/// Schema v6 adds temporal rows on top: the same chains compressed
+/// independently versus delta-coded with `Pipeline::compress_next` at an
+/// equal bound. Asserts in-bench that the chain-decode max error stays
+/// within the bound on every snapshot and that temporal CR on the
+/// checkpoint-like series is at least 1.5x the independent CR.
 fn bench_timeseries(o: &Opts) -> Vec<String> {
     use qoz_api::BackendId;
 
@@ -409,6 +415,122 @@ fn bench_timeseries(o: &Opts) -> Vec<String> {
             stats.warm_rescales,
             stats.retunes,
             bytes_equal
+        ));
+    }
+
+    // Temporal delta coding (schema v6): the same evolving fields coded
+    // independently versus residual-coded against each prior
+    // reconstruction at an equal bound. The checkpoint-like series must
+    // show at least a 1.5x CR gain; the advecting series is reported too
+    // so the win is measured on motion, not just amplitude decay.
+    const CHAIN: usize = 12;
+    println!("\n--- time series: independent vs temporal delta coding, eps {eps:.0e} ---");
+    println!(
+        "{:<14} {:>6} {:>8} {:>8} {:>6} {:>11} {:>12}",
+        "dataset", "snaps", "ind CR", "temp CR", "gain", "key/dlt/fb", "chain MB/s"
+    );
+    type SeriesGen = fn(qoz_tensor::Shape, u64) -> NdArray<f32>;
+    let series: [(&str, SeriesGen); 2] = [
+        ("TS-checkpoint", qoz_datagen::time_series_like),
+        ("TS-advect", qoz_datagen::time_series_advect),
+    ];
+    for (name, generate) in series {
+        let shape4 = qoz_tensor::Shape::new(&[CHAIN, base.dim(0), base.dim(1), base.dim(2)]);
+        let field = generate(shape4, 0xC0FFEE);
+        let chain: Vec<NdArray<f32>> = (0..CHAIN)
+            .map(|t| NdArray::from_vec(base, field.as_slice()[t * step..(t + 1) * step].to_vec()))
+            .collect();
+        let session = Session::builder()
+            .backend(BackendId::Qoz)
+            .bound(ErrorBound::Rel(eps))
+            .build()
+            .expect("bound is valid");
+
+        let mut ind_pipe = session.pipeline::<f32>();
+        let ind_bytes: usize = chain
+            .iter()
+            .map(|s| {
+                ind_pipe
+                    .compress(s)
+                    .expect("independent compress")
+                    .blob
+                    .len()
+            })
+            .sum();
+
+        let mut enc = session.pipeline::<f32>();
+        let blobs: Vec<Vec<u8>> = chain
+            .iter()
+            .map(|s| enc.compress_next(s).expect("temporal compress").1.blob)
+            .collect();
+        let temporal_bytes: usize = blobs.iter().map(Vec::len).sum();
+        let stats = enc.stats();
+
+        // Error contract first: every snapshot of the decoded chain must
+        // honor the bound against its own raw input.
+        let mut check = session.pipeline::<f32>();
+        for (s, blob) in chain.iter().zip(&blobs) {
+            let recon = check.decompress_next(blob).expect("chain decode");
+            let abs = ErrorBound::Rel(eps).absolute(s);
+            // The f32 accumulate (prev reconstruction + residual) can
+            // round by a couple of ULPs on top of the coded bound.
+            let slack = abs * (1.0 + 1e-9) + 4.0 * f32::EPSILON as f64;
+            assert!(
+                s.max_abs_diff(recon) <= slack,
+                "{name}: chain decode violated the bound"
+            );
+        }
+        // Then a clean timing pass over the whole chain decode.
+        let mut dec = session.pipeline::<f32>();
+        let t0 = std::time::Instant::now();
+        for blob in &blobs {
+            dec.decompress_next(blob).expect("chain decode");
+        }
+        let t_chain = t0.elapsed().as_secs_f64();
+
+        let raw = (step * 4 * CHAIN) as f64;
+        let independent_cr = raw / ind_bytes as f64;
+        let temporal_cr = raw / temporal_bytes as f64;
+        let gain = temporal_cr / independent_cr;
+        let chain_mbps = raw / 1e6 / t_chain.max(1e-12);
+        println!(
+            "{:<14} {:>6} {:>8.2} {:>8.2} {:>5.2}x {:>5}/{}/{} {:>12.1}",
+            name,
+            CHAIN,
+            independent_cr,
+            temporal_cr,
+            gain,
+            stats.chain_keyframes,
+            stats.chain_deltas,
+            stats.chain_fallbacks,
+            chain_mbps
+        );
+        if name == "TS-checkpoint" {
+            assert!(
+                gain >= 1.5,
+                "{name}: temporal CR gain {gain:.3}x fell below the 1.5x floor \
+                 (independent {independent_cr:.2}, temporal {temporal_cr:.2})"
+            );
+        }
+        rows.push(format!(
+            concat!(
+                "    {{\"backend\": \"qoz\", \"dataset\": \"{}\", ",
+                "\"snapshots\": {}, \"points\": {}, \"eps_rel\": {:e}, ",
+                "\"independent_cr\": {:.4}, \"temporal_cr\": {:.4}, ",
+                "\"temporal_gain\": {:.4}, \"chain_decode_mbps\": {:.3}, ",
+                "\"keyframes\": {}, \"deltas\": {}, \"fallbacks\": {}}}"
+            ),
+            name,
+            CHAIN,
+            step,
+            eps,
+            independent_cr,
+            temporal_cr,
+            gain,
+            chain_mbps,
+            stats.chain_keyframes,
+            stats.chain_deltas,
+            stats.chain_fallbacks
         ));
     }
     rows

@@ -34,6 +34,10 @@ pub enum Command {
         /// session builder infer it from the target — a `--target
         /// psnr:..` run tunes QoZ for PSNR without extra flags.
         metric: Option<QualityMetric>,
+        /// Delta-code the series against each prior reconstruction
+        /// (`--temporal`); snapshots where the residual is rougher than
+        /// the field fall back to keyframes automatically.
+        temporal: bool,
     },
     /// Decompress a stream file back to raw bytes.
     Decompress {
@@ -158,7 +162,8 @@ pub enum Command {
     },
     /// Generate a synthetic dataset.
     Gen {
-        /// Dataset name (cesm/miranda/rtm/nyx/hurricane/letkf).
+        /// Dataset name (cesm/miranda/rtm/nyx/hurricane/letkf), or a
+        /// 4-snapshot evolving series (ts/ts-advect, time-major).
         dataset: String,
         /// Size class (tiny/small/medium).
         size: String,
@@ -167,6 +172,66 @@ pub enum Command {
     },
     /// Print usage.
     Help,
+}
+
+/// Compare path strings "naturally": runs of ASCII digits compare by
+/// numeric value, so `s2.f32` sorts before `s10.f32` — the order a
+/// simulation emitted its snapshots, not the lexicographic one.
+pub fn natural_cmp(a: &str, b: &str) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i].is_ascii_digit() && b[j].is_ascii_digit() {
+            let (si, sj) = (i, j);
+            while i < a.len() && a[i].is_ascii_digit() {
+                i += 1;
+            }
+            while j < b.len() && b[j].is_ascii_digit() {
+                j += 1;
+            }
+            let na = &a[si..i];
+            let nb = &b[sj..j];
+            let ta = &na[na.iter().take_while(|&&c| c == b'0').count()..];
+            let tb = &nb[nb.iter().take_while(|&&c| c == b'0').count()..];
+            // Same magnitude compares digit-by-digit; ties on value fall
+            // back to the run's literal length so "01" != "1" paths
+            // still order deterministically.
+            let ord = ta
+                .len()
+                .cmp(&tb.len())
+                .then_with(|| ta.cmp(tb))
+                .then_with(|| na.len().cmp(&nb.len()));
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        } else {
+            let ord = a[i].cmp(&b[j]);
+            if ord != Ordering::Equal {
+                return ord;
+            }
+            i += 1;
+            j += 1;
+        }
+    }
+    (a.len() - i).cmp(&(b.len() - j))
+}
+
+/// Expand a `-i DIR` series input into the directory's files, naturally
+/// sorted.
+pub(crate) fn expand_dir(dir: &str) -> Result<Vec<String>, CliError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| CliError::runtime(format!("cannot read directory {dir}: {e}")))?;
+    let mut files: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_type().map(|t| t.is_file()).unwrap_or(false))
+        .map(|e| e.path().to_string_lossy().into_owned())
+        .collect();
+    if files.is_empty() {
+        return Err(CliError::usage(format!("directory {dir} holds no files")));
+    }
+    files.sort_by(|a, b| natural_cmp(a, b));
+    Ok(files)
 }
 
 /// Parse `AxBxC`-style dimension strings (extents must be nonzero).
@@ -281,20 +346,22 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     })
                 }
             };
-            // A comma means a series — unless the whole string names an
-            // existing file, so filenames that happen to contain commas
-            // keep working as single inputs.
+            // A directory is a series of every file in it, naturally
+            // sorted. A comma means an explicit series — unless the
+            // whole string names an existing file, so filenames that
+            // happen to contain commas keep working as single inputs.
             let raw_inputs = require("-i")?;
-            let inputs: Vec<String> =
-                if raw_inputs.contains(',') && !std::path::Path::new(raw_inputs).exists() {
-                    raw_inputs
-                        .split(',')
-                        .map(|s| s.trim().to_string())
-                        .filter(|s| !s.is_empty())
-                        .collect()
-                } else {
-                    vec![raw_inputs.to_string()]
-                };
+            let inputs: Vec<String> = if std::path::Path::new(raw_inputs).is_dir() {
+                expand_dir(raw_inputs)?
+            } else if raw_inputs.contains(',') && !std::path::Path::new(raw_inputs).exists() {
+                raw_inputs
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            } else {
+                vec![raw_inputs.to_string()]
+            };
             if inputs.is_empty() {
                 return Err(CliError::usage("-i needs at least one input file"));
             }
@@ -309,6 +376,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     .transpose()?
                     .unwrap_or(BackendId::Qoz),
                 metric: get_flag("--metric").map(metric_of).transpose()?,
+                temporal: has_flag("--temporal"),
             })
         }
         "decompress" => Ok(Command::Decompress {
@@ -437,10 +505,16 @@ USAGE:
                  | --target psnr:60|ssim:0.98|cr:100)
                  [-t f32|f64] [--codec qoz|sz3|sz2|zfp|mgard]
                  [--metric cr|psnr|ssim|ac]
-                 time series: -i s0.f32,s1.f32,... -o OUTDIR compresses
-                 every snapshot through one reused pipeline (cached
-                 tuning plan + scratch buffers) into OUTDIR/<name>.qz
+                 time series: -i s0.f32,s1.f32,... (or -i DIR, files in
+                 natural order) -o OUTDIR compresses every snapshot
+                 through one reused pipeline (cached tuning plan +
+                 scratch buffers) into OUTDIR/<name>.qz; --temporal
+                 delta-codes each snapshot against the prior
+                 reconstruction (auto keyframe fallback), same bound
+                 guaranteed per snapshot
   qoz decompress -i out.qz -o recon.f32
+                 series: -i DIR -o OUTDIR decodes every stream in DIR in
+                 natural order, resolving --temporal delta chains
   qoz info       -i out.qz
   qoz archive    -i in.f32 -o out.qza -d 512x512x512 -e 1e-3 [-m rel|abs]
                  [-t f32|f64] [--codec qoz|sz3|sz2|zfp|mgard]
@@ -450,6 +524,8 @@ USAGE:
   qoz inspect    -i out.qza [--verify]
   qoz eval       -i in.f32 -r recon.f32 -d 512x512x512 [-t f32|f64]
   qoz gen        -D miranda [-s tiny|small|medium] -o data.f32
+                 -D ts|ts-advect writes a 4-snapshot time-major series
+                 (split it per snapshot to feed compress --temporal)
   qoz serve      --listen unix:/tmp/qoz.sock|tcp:HOST:PORT [--workers 2]
                  [--queue 32] [--budget-ms 30000] [--plan-file PATH]
                  [--archive-root DIR]
@@ -506,6 +582,7 @@ mod tests {
                 target,
                 codec,
                 metric,
+                temporal,
             } => {
                 assert_eq!(inputs, vec!["a.f32"]);
                 assert_eq!(output, "a.qz");
@@ -514,6 +591,7 @@ mod tests {
                 assert_eq!(target, Target::Bound(ErrorBound::Abs(1e-3)));
                 assert_eq!(codec, BackendId::Sz3);
                 assert_eq!(metric, Some(QualityMetric::Ssim));
+                assert!(!temporal, "no --temporal flag");
             }
             other => panic!("wrong parse: {other:?}"),
         }
@@ -626,6 +704,57 @@ mod tests {
             "compress", "-i", "a", "-o", "b", "-d", "8x8", "--target", "cr:100", "-m", "abs",
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn natural_order_sorts_digit_runs_numerically() {
+        let mut v = vec!["s10.f32", "s2.f32", "s1.f32", "a.f32", "s02.f32"];
+        v.sort_by(|a, b| natural_cmp(a, b));
+        assert_eq!(v, vec!["a.f32", "s1.f32", "s2.f32", "s02.f32", "s10.f32"]);
+        assert_eq!(natural_cmp("x9y", "x10y"), std::cmp::Ordering::Less);
+        assert_eq!(natural_cmp("x", "x"), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn directory_input_expands_to_natural_order_series() {
+        let dir = std::env::temp_dir().join(format!("qoz_args_dir_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["u10.f32", "u2.f32", "u1.f32"] {
+            std::fs::write(dir.join(name), b"x").unwrap();
+        }
+        let cmd = parse(&sv(&[
+            "compress",
+            "-i",
+            &dir.to_string_lossy(),
+            "-o",
+            "outdir",
+            "-d",
+            "8x8",
+            "-e",
+            "1e-3",
+            "--temporal",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Compress {
+                inputs, temporal, ..
+            } => {
+                let names: Vec<&str> = inputs
+                    .iter()
+                    .map(|p| {
+                        std::path::Path::new(p)
+                            .file_name()
+                            .unwrap()
+                            .to_str()
+                            .unwrap()
+                    })
+                    .collect();
+                assert_eq!(names, vec!["u1.f32", "u2.f32", "u10.f32"]);
+                assert!(temporal);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

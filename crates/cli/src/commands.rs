@@ -62,12 +62,15 @@ fn compress_one<T: Scalar>(
 /// Compress a time series of same-shape raw files through one reused
 /// pipeline (cached tuning plan + scratch arena), one `<name>.qz` per
 /// input under `outdir`; returns per-snapshot report lines plus a
-/// warm/cold summary.
+/// warm/cold summary. With `temporal`, each snapshot is delta-coded
+/// against the prior reconstruction (auto keyframe fallback) and the
+/// report tags every stream keyframe/delta/fallback.
 fn compress_series<T: Scalar>(
     session: &Session,
     inputs: &[String],
     outdir: &str,
     shape: Shape,
+    temporal: bool,
 ) -> Result<Vec<String>, CliError> {
     // Outputs are named by input basename; two inputs sharing one would
     // silently overwrite each other — reject that up front.
@@ -94,19 +97,25 @@ fn compress_series<T: Scalar>(
     let mut lines = Vec::with_capacity(inputs.len() + 1);
     for (input, name) in inputs.iter().zip(&names) {
         let data: NdArray<T> = rawio::read_raw(input, shape)?;
-        let out = pipe.compress(&data)?;
+        let (out, tag) = if temporal {
+            let (outcome, out) = pipe.compress_next(&data)?;
+            (out, outcome.name())
+        } else {
+            let out = pipe.compress(&data)?;
+            let tag = match pipe.last_outcome() {
+                Some(PlanOutcome::ColdTuned) => "cold tune",
+                Some(PlanOutcome::WarmHit) => "warm",
+                Some(PlanOutcome::WarmRescaled) => "warm, rescaled",
+                Some(PlanOutcome::Retuned) => "retuned",
+                None => "untracked",
+            };
+            (out, tag)
+        };
         let output = format!("{outdir}/{name}.qz");
         write_atomically(&output, |sink| {
             std::io::Write::write_all(sink, &out.blob)?;
             Ok(())
         })?;
-        let tag = match pipe.last_outcome() {
-            Some(PlanOutcome::ColdTuned) => "cold tune",
-            Some(PlanOutcome::WarmHit) => "warm",
-            Some(PlanOutcome::WarmRescaled) => "warm, rescaled",
-            Some(PlanOutcome::Retuned) => "retuned",
-            None => "untracked",
-        };
         lines.push(format!(
             "{input} -> {output}: {} -> {} bytes (CR {:.2}x, {tag})",
             out.stats.raw_bytes,
@@ -115,14 +124,64 @@ fn compress_series<T: Scalar>(
         ));
     }
     let s = pipe.stats();
-    lines.push(format!(
-        "series: {} snapshots, {} warm, {} tuned ({} cold + {} drift retunes)",
-        inputs.len(),
-        s.warm(),
-        s.cold_tunes + s.retunes,
-        s.cold_tunes,
-        s.retunes
-    ));
+    if temporal {
+        lines.push(format!(
+            "series: {} snapshots, {} keyframes + {} deltas ({} estimator fallbacks)",
+            inputs.len(),
+            s.chain_keyframes + s.chain_fallbacks,
+            s.chain_deltas,
+            s.chain_fallbacks
+        ));
+    } else {
+        lines.push(format!(
+            "series: {} snapshots, {} warm, {} tuned ({} cold + {} drift retunes)",
+            inputs.len(),
+            s.warm(),
+            s.cold_tunes + s.retunes,
+            s.cold_tunes,
+            s.retunes
+        ));
+    }
+    Ok(lines)
+}
+
+/// Decode every stream in `indir` (natural order) into raw files under
+/// `outdir`, resolving `--temporal` delta chains: each delta stream is
+/// applied on top of the previous snapshot's reconstruction; keyframes
+/// and plain streams restart the chain.
+fn decompress_series(indir: &str, outdir: &str) -> Result<Vec<String>, CliError> {
+    let files = crate::args::expand_dir(indir)?;
+    std::fs::create_dir_all(outdir)
+        .map_err(|e| CliError::runtime(format!("cannot create {outdir}: {e}")))?;
+    // Scalar width comes from the first stream's header; the chain
+    // decoder rejects members whose shape/type breaks the chain.
+    let first = rawio::read_bytes(&files[0])?;
+    if qoz_api::peek_header(&first)?.scalar_tag == f64::TYPE_TAG {
+        decompress_series_typed::<f64>(&files, outdir)
+    } else {
+        decompress_series_typed::<f32>(&files, outdir)
+    }
+}
+
+fn decompress_series_typed<T: Scalar>(
+    files: &[String],
+    outdir: &str,
+) -> Result<Vec<String>, CliError> {
+    let registry = qoz_api::BackendRegistry::new();
+    let mut chain = qoz_temporal::TemporalSession::<T>::new();
+    let mut lines = Vec::with_capacity(files.len());
+    for input in files {
+        let blob = rawio::read_bytes(input)?;
+        let recon = chain.decompress_next(&blob, |inner| registry.decompress(inner))?;
+        let name = std::path::Path::new(input)
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| input.clone());
+        let name = name.strip_suffix(".qz").unwrap_or(&name).to_string();
+        let output = format!("{outdir}/{name}");
+        write_atomically(&output, |sink| rawio::write_raw_into(sink, recon))?;
+        lines.push(format!("{input} -> {output}"));
+    }
     Ok(lines)
 }
 
@@ -198,6 +257,7 @@ pub fn run(cmd: Command) -> Result<Vec<String>, CliError> {
             target,
             codec,
             metric,
+            temporal,
         } => {
             let shape = Shape::new(&dims);
             // Only force a tuning metric when the user asked for one;
@@ -207,12 +267,14 @@ pub fn run(cmd: Command) -> Result<Vec<String>, CliError> {
                 builder = builder.metric(metric);
             }
             let session = builder.build()?;
-            if inputs.len() > 1 {
+            if inputs.len() > 1 || temporal {
                 // Series mode: one pipeline, `output` is a directory.
+                // `--temporal` always takes this path — even a one-file
+                // series — so chained and plain outputs land the same way.
                 return if wide {
-                    compress_series::<f64>(&session, &inputs, &output, shape)
+                    compress_series::<f64>(&session, &inputs, &output, shape, temporal)
                 } else {
-                    compress_series::<f32>(&session, &inputs, &output, shape)
+                    compress_series::<f32>(&session, &inputs, &output, shape, temporal)
                 };
             }
             let input = &inputs[0];
@@ -226,6 +288,11 @@ pub fn run(cmd: Command) -> Result<Vec<String>, CliError> {
             Ok(vec![line])
         }
         Command::Decompress { input, output } => {
+            if std::path::Path::new(&input).is_dir() {
+                // Series mode: decode the directory in natural order,
+                // resolving temporal delta chains.
+                return decompress_series(&input, &output);
+            }
             let blob = rawio::read_bytes(&input)?;
             let header = qoz_api::peek_header(&blob)?;
             let registry = qoz_api::BackendRegistry::new();
@@ -549,26 +616,46 @@ pub fn run(cmd: Command) -> Result<Vec<String>, CliError> {
             output,
         } => {
             use qoz_datagen::{Dataset, SizeClass};
-            let ds = match dataset.to_ascii_lowercase().as_str() {
-                "cesm" | "cesm-atm" => Dataset::CesmAtm,
-                "miranda" => Dataset::Miranda,
-                "rtm" => Dataset::Rtm,
-                "nyx" => Dataset::Nyx,
-                "hurricane" => Dataset::Hurricane,
-                "letkf" | "scale-letkf" => Dataset::ScaleLetkf,
-                other => return Err(CliError::usage(format!("unknown dataset '{other}'"))),
-            };
             let size = match size.to_ascii_lowercase().as_str() {
                 "tiny" => SizeClass::Tiny,
                 "small" => SizeClass::Small,
                 "medium" => SizeClass::Medium,
                 other => return Err(CliError::usage(format!("unknown size '{other}'"))),
             };
-            let data = ds.generate(size, 0);
+            // The `ts*` names emit a 4-snapshot evolving series (a time
+            // axis prepended to the Miranda-like base shape), written
+            // time-major so the file splits into per-snapshot chunks for
+            // `compress --temporal`.
+            let series_shape = |size: SizeClass| {
+                let b = Dataset::Miranda.shape(size);
+                Shape::new(&[4, b.dim(0), b.dim(1), b.dim(2)])
+            };
+            let (label, data) = match dataset.to_ascii_lowercase().as_str() {
+                "ts" | "timeseries" => (
+                    "TS",
+                    qoz_datagen::time_series_like(series_shape(size), 0x51C0_FFEE),
+                ),
+                "ts-advect" => (
+                    "TS-advect",
+                    qoz_datagen::time_series_advect(series_shape(size), 0x51C0_FFEE),
+                ),
+                other => {
+                    let ds = match other {
+                        "cesm" | "cesm-atm" => Dataset::CesmAtm,
+                        "miranda" => Dataset::Miranda,
+                        "rtm" => Dataset::Rtm,
+                        "nyx" => Dataset::Nyx,
+                        "hurricane" => Dataset::Hurricane,
+                        "letkf" | "scale-letkf" => Dataset::ScaleLetkf,
+                        other => return Err(CliError::usage(format!("unknown dataset '{other}'"))),
+                    };
+                    (ds.name(), ds.generate(size, 0))
+                }
+            };
             rawio::write_raw(&output, &data)?;
             Ok(vec![format!(
                 "{} {:?} -> {output} ({} bytes)",
-                ds.name(),
+                label,
                 data.shape().dims(),
                 data.len() * 4
             )])
@@ -732,6 +819,64 @@ mod tests {
     }
 
     #[test]
+    fn temporal_series_roundtrips_through_directories() {
+        // Directory of snapshots -> --temporal compress -> directory
+        // decompress; every reconstruction honors the bound against its
+        // own raw snapshot, and deltas actually get used.
+        let field = qoz_datagen::time_series_like(qoz_tensor::Shape::new(&[4, 12, 12, 12]), 77);
+        let step = 12 * 12 * 12;
+        let indir = tmp("tser_in");
+        std::fs::create_dir_all(&indir).unwrap();
+        for t in 0..4 {
+            let slab = &field.as_slice()[t * step..(t + 1) * step];
+            let bytes: Vec<u8> = slab.iter().flat_map(|v| v.to_le_bytes()).collect();
+            std::fs::write(format!("{indir}/u{t}.f32"), bytes).unwrap();
+        }
+        let outdir = tmp("tser_qz");
+        let recdir = tmp("tser_rec");
+        let out = run(parse(&sv(&[
+            "compress",
+            "-i",
+            &indir,
+            "-o",
+            &outdir,
+            "-d",
+            "12x12x12",
+            "-e",
+            "1e-3",
+            "-m",
+            "abs",
+            "--temporal",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out[0].contains("keyframe"), "{out:?}");
+        let summary = out.last().unwrap();
+        assert!(summary.contains("deltas"), "{summary}");
+        assert!(!summary.contains("0 deltas"), "{summary}");
+
+        // A delta stream must refuse to decode standalone…
+        let blob = std::fs::read(format!("{outdir}/u1.f32.qz")).unwrap();
+        assert!(qoz_api::decompress_stream::<f32>(&blob).is_err());
+
+        // …but the chain decode serves every snapshot within bound.
+        run(parse(&sv(&["decompress", "-i", &outdir, "-o", &recdir])).unwrap()).unwrap();
+        for t in 0..4 {
+            let recon: NdArray<f32> =
+                rawio::read_raw(&format!("{recdir}/u{t}.f32"), Shape::d3(12, 12, 12)).unwrap();
+            let slab = &field.as_slice()[t * step..(t + 1) * step];
+            let orig = NdArray::from_vec(Shape::d3(12, 12, 12), slab.to_vec());
+            assert!(
+                orig.max_abs_diff(&recon) <= 1e-3 * (1.0 + 1e-9) + 4.0 * f32::EPSILON as f64,
+                "snapshot {t}"
+            );
+        }
+        for d in [&indir, &outdir, &recdir] {
+            std::fs::remove_dir_all(d).ok();
+        }
+    }
+
+    #[test]
     fn series_inputs_with_colliding_names_rejected() {
         // Same basename in two directories would overwrite one output.
         let err = run(Command::Compress {
@@ -742,6 +887,7 @@ mod tests {
             target: Target::Bound(ErrorBound::Rel(1e-3)),
             codec: qoz_api::BackendId::Qoz,
             metric: None,
+            temporal: false,
         })
         .unwrap_err();
         assert_eq!(err.code, 2, "{err}");

@@ -36,7 +36,7 @@ pub use byteio::{ByteReader, ByteWriter};
 pub use huffman::{HuffmanDecoder, HuffmanEncoder};
 pub use quantizer::{LinearQuantizer, Quantized};
 pub use scratch::{EntropyScratch, GrowCounter, Scratch};
-pub use stream::{CompressStats, Compressor, CompressorId, ErrorBound, Header};
+pub use stream::{CompressStats, Compressor, CompressorId, ErrorBound, Header, TemporalMode};
 
 /// Errors produced while decoding compressed streams.
 #[derive(Debug, Clone, PartialEq, Eq)]

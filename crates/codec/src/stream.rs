@@ -11,8 +11,55 @@ use qoz_tensor::{NdArray, Scalar, Shape};
 
 /// 4-byte stream magic: "QZWS" (QoZ workspace).
 pub const MAGIC: [u8; 4] = *b"QZWS";
-/// Current stream format version.
+/// Stream format version of plain (temporally independent) streams.
+///
+/// Deliberately unchanged by the temporal extension: a stream whose
+/// header carries no [`TemporalMode`] is emitted byte-for-byte as
+/// before, so pre-temporal readers and golden bitstreams are
+/// unaffected.
 pub const VERSION: u8 = 1;
+/// Stream format version of temporal chain members. A version-2 header
+/// carries one extra [`TemporalMode`] byte right after the version, and
+/// its payload is a complete version-1 stream (the independent snapshot
+/// for a keyframe, the residual field for a delta).
+pub const VERSION_TEMPORAL: u8 = 2;
+
+/// How a temporal chain member relates to its predecessor.
+///
+/// Recorded in the stream header (version [`VERSION_TEMPORAL`]) so a
+/// decoder needs no out-of-band metadata to tell whether a chain member
+/// is self-contained: the encoder's per-snapshot keyframe/delta decision
+/// travels with the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum TemporalMode {
+    /// Independently coded snapshot: the payload reconstructs the field
+    /// on its own. Chains start with (and fall back to) keyframes.
+    Keyframe = 1,
+    /// Residual-coded snapshot: the payload reconstructs `x_t - x̂_{t-1}`
+    /// (the difference against the *reconstruction* of the previous
+    /// chain member), so decoding requires the predecessor.
+    Delta = 2,
+}
+
+impl TemporalMode {
+    /// Parse from the header byte.
+    pub fn from_u8(v: u8) -> Result<Self> {
+        Ok(match v {
+            1 => TemporalMode::Keyframe,
+            2 => TemporalMode::Delta,
+            _ => return Err(CodecError::Corrupt("unknown temporal mode")),
+        })
+    }
+
+    /// Stable lowercase name (telemetry label / CLI tag).
+    pub fn name(self) -> &'static str {
+        match self {
+            TemporalMode::Keyframe => "keyframe",
+            TemporalMode::Delta => "delta",
+        }
+    }
+}
 
 /// Identifies which compressor produced a stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -117,12 +164,27 @@ pub struct Header {
     pub shape: Shape,
     /// Absolute error bound the stream was produced with.
     pub abs_eb: f64,
+    /// Temporal chain role, when the stream is a chain member. `None`
+    /// for plain streams — which are emitted as format [`VERSION`],
+    /// byte-identical to pre-temporal builds.
+    pub temporal: Option<TemporalMode>,
 }
 
 /// Write the common stream header.
+///
+/// Headers without a temporal role serialize exactly as before the
+/// temporal extension (version [`VERSION`]); a `Some` role upgrades the
+/// header to [`VERSION_TEMPORAL`] and inserts the mode byte after the
+/// version.
 pub fn write_header(w: &mut ByteWriter, h: &Header) {
     w.put_bytes(&MAGIC);
-    w.put_u8(VERSION);
+    match h.temporal {
+        None => w.put_u8(VERSION),
+        Some(mode) => {
+            w.put_u8(VERSION_TEMPORAL);
+            w.put_u8(mode as u8);
+        }
+    }
     w.put_u8(h.compressor as u8);
     w.put_u8(h.scalar_tag);
     w.put_u8(h.shape.ndim() as u8);
@@ -139,12 +201,16 @@ pub fn read_header(r: &mut ByteReader) -> Result<Header> {
         return Err(CodecError::Corrupt("bad magic"));
     }
     let version = r.get_u8()?;
-    if version != VERSION {
-        return Err(CodecError::BadVersion {
-            found: version,
-            supported: VERSION,
-        });
-    }
+    let temporal = match version {
+        VERSION => None,
+        VERSION_TEMPORAL => Some(TemporalMode::from_u8(r.get_u8()?)?),
+        _ => {
+            return Err(CodecError::BadVersion {
+                found: version,
+                supported: VERSION_TEMPORAL,
+            })
+        }
+    };
     let compressor = CompressorId::from_u8(r.get_u8()?)?;
     let scalar_tag = r.get_u8()?;
     let ndim = r.get_u8()? as usize;
@@ -168,7 +234,47 @@ pub fn read_header(r: &mut ByteReader) -> Result<Header> {
         scalar_tag,
         shape: Shape::new(&dims),
         abs_eb,
+        temporal,
     })
+}
+
+/// Wrap a complete plain (version-1) stream as a temporal chain member.
+///
+/// The outer [`VERSION_TEMPORAL`] header mirrors the inner stream's
+/// header fields and adds `mode`; the inner stream rides along intact as
+/// the payload, so [`unwrap_temporal`] hands back exactly the bytes any
+/// pre-temporal decoder understands. For a [`TemporalMode::Delta`]
+/// member the inner stream codes the residual field — same shape and
+/// scalar type as the snapshot, compressed at the *snapshot's* absolute
+/// bound (the composed-bound contract; see `qoz_temporal`).
+pub fn wrap_temporal(mode: TemporalMode, inner: &[u8]) -> Result<Vec<u8>> {
+    let mut r = ByteReader::new(inner);
+    let inner_header = read_header(&mut r)?;
+    if inner_header.temporal.is_some() {
+        return Err(CodecError::Corrupt("temporal frame cannot nest"));
+    }
+    let outer = Header {
+        temporal: Some(mode),
+        ..inner_header
+    };
+    let mut w = ByteWriter::with_capacity(inner.len() + 32);
+    write_header(&mut w, &outer);
+    w.put_bytes(inner);
+    Ok(w.finish())
+}
+
+/// Split a temporal chain member produced by [`wrap_temporal`] into its
+/// header (with `temporal` set) and the inner plain stream. Rejects
+/// plain streams — callers branch on [`Header::temporal`] via
+/// `read_header` first when both kinds are possible.
+pub fn unwrap_temporal(blob: &[u8]) -> Result<(Header, &[u8])> {
+    let mut r = ByteReader::new(blob);
+    let header = read_header(&mut r)?;
+    if header.temporal.is_none() {
+        return Err(CodecError::Corrupt("not a temporal chain member"));
+    }
+    let inner = &blob[blob.len() - r.remaining()..];
+    Ok((header, inner))
 }
 
 /// Byte accounting returned by the streaming compression entry points.
@@ -303,12 +409,91 @@ mod tests {
             scalar_tag: f32::TYPE_TAG,
             shape: Shape::d3(10, 20, 30),
             abs_eb: 1e-3,
+            temporal: None,
         };
         let mut w = ByteWriter::new();
         write_header(&mut w, &h);
         let buf = w.finish();
+        // Plain headers keep the pre-temporal layout: version byte 1,
+        // compressor id immediately after.
+        assert_eq!(buf[4], VERSION);
+        assert_eq!(buf[5], CompressorId::Qoz as u8);
         let mut r = ByteReader::new(&buf);
         assert_eq!(read_header(&mut r).unwrap(), h);
+    }
+
+    #[test]
+    fn temporal_header_roundtrip() {
+        for mode in [TemporalMode::Keyframe, TemporalMode::Delta] {
+            let h = Header {
+                compressor: CompressorId::Sz3,
+                scalar_tag: f64::TYPE_TAG,
+                shape: Shape::d2(6, 9),
+                abs_eb: 2e-4,
+                temporal: Some(mode),
+            };
+            let mut w = ByteWriter::new();
+            write_header(&mut w, &h);
+            let buf = w.finish();
+            assert_eq!(buf[4], VERSION_TEMPORAL);
+            assert_eq!(buf[5], mode as u8);
+            let mut r = ByteReader::new(&buf);
+            assert_eq!(read_header(&mut r).unwrap(), h);
+        }
+        // A bad mode byte is corruption, not a version problem.
+        let mut w = ByteWriter::new();
+        write_header(
+            &mut w,
+            &Header {
+                compressor: CompressorId::Qoz,
+                scalar_tag: f32::TYPE_TAG,
+                shape: Shape::d1(4),
+                abs_eb: 1e-3,
+                temporal: Some(TemporalMode::Delta),
+            },
+        );
+        let mut buf = w.finish();
+        buf[5] = 77;
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(
+            read_header(&mut r),
+            Err(CodecError::Corrupt("unknown temporal mode"))
+        );
+    }
+
+    #[test]
+    fn wrap_unwrap_temporal_preserves_inner_bytes() {
+        let data = NdArray::from_vec(Shape::d1(6), vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        // NullCodec emits no QZWS header, so build a realistic inner
+        // stream by hand: header + opaque payload.
+        let inner_header = Header {
+            compressor: CompressorId::Sz3,
+            scalar_tag: f32::TYPE_TAG,
+            shape: data.shape(),
+            abs_eb: 1e-2,
+            temporal: None,
+        };
+        let mut w = ByteWriter::new();
+        write_header(&mut w, &inner_header);
+        w.put_bytes(&[0xAB, 0xCD, 0xEF]);
+        let inner = w.finish();
+
+        for mode in [TemporalMode::Keyframe, TemporalMode::Delta] {
+            let frame = wrap_temporal(mode, &inner).unwrap();
+            let (header, payload) = unwrap_temporal(&frame).unwrap();
+            assert_eq!(header.temporal, Some(mode));
+            assert_eq!(header.compressor, inner_header.compressor);
+            assert_eq!(header.shape, inner_header.shape);
+            assert_eq!(header.abs_eb, inner_header.abs_eb);
+            assert_eq!(payload, &inner[..], "inner stream must ride along intact");
+            // Frames never nest, and plain streams never unwrap.
+            assert!(wrap_temporal(mode, &frame).is_err());
+        }
+        assert_eq!(
+            unwrap_temporal(&inner),
+            Err(CodecError::Corrupt("not a temporal chain member"))
+        );
+        assert!(unwrap_temporal(b"junk").is_err());
     }
 
     #[test]
@@ -328,6 +513,7 @@ mod tests {
             scalar_tag: f64::TYPE_TAG,
             shape: Shape::d1(5),
             abs_eb: 0.5,
+            temporal: None,
         };
         let mut w = ByteWriter::new();
         write_header(&mut w, &h);
@@ -338,7 +524,7 @@ mod tests {
             read_header(&mut r),
             Err(CodecError::BadVersion {
                 found: 99,
-                supported: VERSION
+                supported: VERSION_TEMPORAL
             })
         );
     }
@@ -350,12 +536,15 @@ mod tests {
             scalar_tag: f32::TYPE_TAG,
             shape: Shape::d1(8),
             abs_eb: 1e-2,
+            temporal: None,
         };
         let mut w = ByteWriter::new();
         write_header(&mut w, &h);
         let mut buf = w.finish();
         // A future format version must read as "newer", not "corrupt".
-        buf[4] = VERSION + 1;
+        // (Version 2 is the valid temporal format, so "future" starts
+        // one past VERSION_TEMPORAL.)
+        buf[4] = VERSION_TEMPORAL + 1;
         let mut r = ByteReader::new(&buf);
         let err = read_header(&mut r).unwrap_err();
         assert!(err.is_newer_format(), "{err}");

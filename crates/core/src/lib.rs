@@ -179,6 +179,7 @@ impl Qoz {
                 scalar_tag: T::TYPE_TAG,
                 shape: data.shape(),
                 abs_eb: plan.abs_eb,
+                temporal: None,
             },
             &plan.spec,
             scratch,

@@ -20,7 +20,8 @@ pub mod fields;
 pub mod noise;
 
 pub use fields::{
-    cesm_like, hurricane_like, miranda_like, nyx_like, rtm_like, scale_letkf_like, time_series_like,
+    cesm_like, hurricane_like, miranda_like, nyx_like, rtm_like, scale_letkf_like,
+    time_series_advect, time_series_like,
 };
 
 use qoz_tensor::{NdArray, Shape};

@@ -61,6 +61,7 @@ impl Mgard {
                 scalar_tag: T::TYPE_TAG,
                 shape,
                 abs_eb,
+                temporal: None,
             },
         );
         w.put_len_prefixed(&qoz_codec::encode_bins(&out.bins));
@@ -72,6 +73,11 @@ impl Mgard {
     pub fn decompress_typed<T: Scalar>(&self, blob: &[u8]) -> Result<NdArray<T>> {
         let mut r = ByteReader::new(blob);
         let header = stream::read_header(&mut r)?;
+        if header.temporal.is_some() {
+            return Err(CodecError::Corrupt(
+                "temporal chain member needs chain decode",
+            ));
+        }
         if header.compressor != CompressorId::Mgard {
             return Err(CodecError::Corrupt("not an MGARD stream"));
         }

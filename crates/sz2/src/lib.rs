@@ -142,6 +142,7 @@ impl Sz2 {
                 scalar_tag: T::TYPE_TAG,
                 shape,
                 abs_eb,
+                temporal: None,
             },
         );
         w.put_varint(side as u64);
@@ -160,6 +161,11 @@ impl Sz2 {
     pub fn decompress_typed<T: Scalar>(&self, blob: &[u8]) -> Result<NdArray<T>> {
         let mut r = ByteReader::new(blob);
         let header = stream::read_header(&mut r)?;
+        if header.temporal.is_some() {
+            return Err(CodecError::Corrupt(
+                "temporal chain member needs chain decode",
+            ));
+        }
         if header.compressor != CompressorId::Sz2 {
             return Err(CodecError::Corrupt("not an SZ2 stream"));
         }

@@ -220,6 +220,14 @@ pub fn check_stream_header<T: Scalar>(
     wrong_kind: &'static str,
 ) -> Result<Header> {
     let header = stream::read_header(r)?;
+    if header.temporal.is_some() {
+        // A temporal chain member's payload is a nested stream, not an
+        // engine body — only chain-aware decoders (qoz_temporal,
+        // qoz_api::Pipeline) may unwrap it.
+        return Err(CodecError::Corrupt(
+            "temporal chain member needs chain decode",
+        ));
+    }
     if header.compressor != expect {
         return Err(CodecError::Corrupt(wrong_kind));
     }

@@ -77,6 +77,7 @@ impl Sz3 {
                 scalar_tag: T::TYPE_TAG,
                 shape,
                 abs_eb,
+                temporal: None,
             },
             &spec,
             scratch,

@@ -152,6 +152,7 @@ impl Zfp {
                 scalar_tag: T::TYPE_TAG,
                 shape,
                 abs_eb,
+                temporal: None,
             },
         );
         w.put_len_prefixed(&qoz_codec::lossless_compress(&tags.finish()));
@@ -164,6 +165,11 @@ impl Zfp {
     pub fn decompress_typed<T: Scalar>(&self, blob: &[u8]) -> Result<NdArray<T>> {
         let mut r = ByteReader::new(blob);
         let header = stream::read_header(&mut r)?;
+        if header.temporal.is_some() {
+            return Err(CodecError::Corrupt(
+                "temporal chain member needs chain decode",
+            ));
+        }
         if header.compressor != CompressorId::Zfp {
             return Err(CodecError::Corrupt("not a ZFP stream"));
         }

@@ -50,5 +50,6 @@ pub use qoz_serve as serve;
 pub use qoz_sz2 as sz2;
 pub use qoz_sz3 as sz3;
 pub use qoz_telemetry as telemetry;
+pub use qoz_temporal as temporal;
 pub use qoz_tensor as tensor;
 pub use qoz_zfp as zfp;
