@@ -25,6 +25,7 @@ pub mod huffman;
 pub mod lz;
 pub mod quantizer;
 pub mod scratch;
+pub mod simd;
 pub mod stream;
 
 pub use backend::{

@@ -1,0 +1,445 @@
+//! Vectorized interpolation stencil kernels with runtime dispatch.
+//!
+//! [`fill_preds`] evaluates one interior line run of the multi-level
+//! traversal (see [`crate::traverse::traverse_level_runs`]): a batch of
+//! predicted points sharing one stencil, with neighbours at fixed
+//! relative offsets `±d1`/`±d3`. The neighbour streams are gathered into
+//! contiguous f64 staging arrays (a scalar load+convert per neighbour —
+//! strided access defeats vector loads anyway), then the stencil
+//! arithmetic runs lane-parallel.
+//!
+//! Bit-identity with the scalar traversal kernels in
+//! [`crate::traverse`] holds because the vector combiners execute the
+//! *same operation sequence* as the scalar expressions — same adds, same
+//! multiplies, same final division, negation as a sign flip — so every
+//! intermediate rounds identically. Within a run this is safe to batch:
+//! all stencil neighbours sit on coordinates that are even multiples of
+//! the level stride, which earlier levels/passes finalized, so no lane's
+//! prediction depends on another lane's write.
+
+use crate::interp::InterpKind;
+use crate::traverse::{LineRun, RunStencil};
+use qoz_tensor::Scalar;
+
+pub use qoz_tensor::simd::{
+    cpu_features, detect, force_scalar, selected, supported, supported_paths, KernelPath,
+};
+
+/// Maximum points per [`fill_preds`] call (matches the quantizer block
+/// size in `qoz_codec::simd` so the engine stages both on the stack).
+pub const BLOCK: usize = 64;
+
+/// Fill `preds[k]` with the stencil prediction for the point at
+/// `run.off0 + k*run.step`, for `k < preds.len()`.
+///
+/// `preds.len()` may be shorter than `run.cnt` (engines chunk long runs;
+/// pass a shifted `off0` for later chunks). An unsupported `path`
+/// silently degrades to scalar.
+pub fn fill_preds<T: Scalar>(path: KernelPath, data: &[T], run: &LineRun, preds: &mut [f64]) {
+    let n = preds.len();
+    assert!(n <= BLOCK, "block too large: {n} > {BLOCK}");
+    let (off0, step, d1, d3) = (run.off0, run.step, run.d1, run.d3);
+    match run.stencil {
+        RunStencil::CopyLeft => {
+            let mut off = off0;
+            for p in preds.iter_mut() {
+                *p = data[off - d1].to_f64();
+                off += step;
+            }
+        }
+        RunStencil::Interp(InterpKind::Linear) => {
+            let mut b = [0f64; BLOCK];
+            let mut c = [0f64; BLOCK];
+            let mut off = off0;
+            for k in 0..n {
+                b[k] = data[off - d1].to_f64();
+                c[k] = data[off + d1].to_f64();
+                off += step;
+            }
+            combine_linear(path, &b[..n], &c[..n], preds);
+        }
+        RunStencil::Interp(InterpKind::Cubic) => {
+            let mut a = [0f64; BLOCK];
+            let mut b = [0f64; BLOCK];
+            let mut c = [0f64; BLOCK];
+            let mut d = [0f64; BLOCK];
+            let mut off = off0;
+            for k in 0..n {
+                a[k] = data[off - d3].to_f64();
+                b[k] = data[off - d1].to_f64();
+                c[k] = data[off + d1].to_f64();
+                d[k] = data[off + d3].to_f64();
+                off += step;
+            }
+            combine_cubic(path, &a[..n], &b[..n], &c[..n], &d[..n], preds);
+        }
+        RunStencil::Interp(InterpKind::Quadratic) => {
+            let mut a = [0f64; BLOCK];
+            let mut b = [0f64; BLOCK];
+            let mut c = [0f64; BLOCK];
+            let mut off = off0;
+            for k in 0..n {
+                a[k] = data[off - d3].to_f64();
+                b[k] = data[off - d1].to_f64();
+                c[k] = data[off + d1].to_f64();
+                off += step;
+            }
+            combine_quadratic(path, &a[..n], &b[..n], &c[..n], preds);
+        }
+    }
+}
+
+/// `out[k] = (b[k] + c[k]) * 0.5` — the linear stencil.
+// Safety (this and the two dispatchers below): each vector arm checks
+// the CPU supports the feature its callee was compiled for.
+#[allow(unsafe_code)]
+fn combine_linear(path: KernelPath, b: &[f64], c: &[f64], out: &mut [f64]) {
+    match path {
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Avx2 if supported(KernelPath::Avx2) => unsafe { x86::linear_avx2(b, c, out) },
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Sse2 => unsafe { x86::linear_sse2(b, c, out) },
+        #[cfg(target_arch = "aarch64")]
+        KernelPath::Neon => unsafe { neon::linear_neon(b, c, out) },
+        _ => linear_scalar(b, c, out),
+    }
+}
+
+/// `out[k] = (-a[k] + 9·b[k] + 9·c[k] - d[k]) / 16` — the cubic stencil.
+#[allow(unsafe_code)]
+fn combine_cubic(path: KernelPath, a: &[f64], b: &[f64], c: &[f64], d: &[f64], out: &mut [f64]) {
+    match path {
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Avx2 if supported(KernelPath::Avx2) => unsafe {
+            x86::cubic_avx2(a, b, c, d, out)
+        },
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Sse2 => unsafe { x86::cubic_sse2(a, b, c, d, out) },
+        #[cfg(target_arch = "aarch64")]
+        KernelPath::Neon => unsafe { neon::cubic_neon(a, b, c, d, out) },
+        _ => cubic_scalar(a, b, c, d, out),
+    }
+}
+
+/// `out[k] = (-a[k] + 6·b[k] + 3·c[k]) / 8` — the quadratic stencil.
+#[allow(unsafe_code)]
+fn combine_quadratic(path: KernelPath, a: &[f64], b: &[f64], c: &[f64], out: &mut [f64]) {
+    match path {
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Avx2 if supported(KernelPath::Avx2) => unsafe {
+            x86::quadratic_avx2(a, b, c, out)
+        },
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Sse2 => unsafe { x86::quadratic_sse2(a, b, c, out) },
+        #[cfg(target_arch = "aarch64")]
+        KernelPath::Neon => unsafe { neon::quadratic_neon(a, b, c, out) },
+        _ => quadratic_scalar(a, b, c, out),
+    }
+}
+
+// The scalar combiners repeat the exact expressions of the fused loops
+// in `traverse::line_contiguous`/`line_strided`; they are the vector
+// tails and the fallback for unknown targets.
+
+fn linear_scalar(b: &[f64], c: &[f64], out: &mut [f64]) {
+    for k in 0..out.len() {
+        out[k] = (b[k] + c[k]) * 0.5;
+    }
+}
+
+fn cubic_scalar(a: &[f64], b: &[f64], c: &[f64], d: &[f64], out: &mut [f64]) {
+    for k in 0..out.len() {
+        out[k] = (-a[k] + 9.0 * b[k] + 9.0 * c[k] - d[k]) / 16.0;
+    }
+}
+
+fn quadratic_scalar(a: &[f64], b: &[f64], c: &[f64], out: &mut [f64]) {
+    for k in 0..out.len() {
+        out[k] = (-a[k] + 6.0 * b[k] + 3.0 * c[k]) / 8.0;
+    }
+}
+
+// Vector intrinsics are inherently `unsafe fn`s; the obligations are
+// slice bounds (the `k + lanes <= n` loop guards) and CPU support
+// (checked by the dispatchers before calling in).
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod x86 {
+    use super::{cubic_scalar, linear_scalar, quadratic_scalar};
+    use core::arch::x86_64::*;
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn linear_avx2(b: &[f64], c: &[f64], out: &mut [f64]) {
+        let n = out.len();
+        let half = _mm256_set1_pd(0.5);
+        let mut k = 0usize;
+        while k + 4 <= n {
+            let vb = _mm256_loadu_pd(b.as_ptr().add(k));
+            let vc = _mm256_loadu_pd(c.as_ptr().add(k));
+            let r = _mm256_mul_pd(_mm256_add_pd(vb, vc), half);
+            _mm256_storeu_pd(out.as_mut_ptr().add(k), r);
+            k += 4;
+        }
+        linear_scalar(&b[k..], &c[k..], &mut out[k..]);
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn linear_sse2(b: &[f64], c: &[f64], out: &mut [f64]) {
+        let n = out.len();
+        let half = _mm_set1_pd(0.5);
+        let mut k = 0usize;
+        while k + 2 <= n {
+            let vb = _mm_loadu_pd(b.as_ptr().add(k));
+            let vc = _mm_loadu_pd(c.as_ptr().add(k));
+            let r = _mm_mul_pd(_mm_add_pd(vb, vc), half);
+            _mm_storeu_pd(out.as_mut_ptr().add(k), r);
+            k += 2;
+        }
+        linear_scalar(&b[k..], &c[k..], &mut out[k..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn cubic_avx2(a: &[f64], b: &[f64], c: &[f64], d: &[f64], out: &mut [f64]) {
+        let n = out.len();
+        let nine = _mm256_set1_pd(9.0);
+        let sixteen = _mm256_set1_pd(16.0);
+        let sign = _mm256_castsi256_pd(_mm256_set1_epi64x(i64::MIN));
+        let mut k = 0usize;
+        while k + 4 <= n {
+            let va = _mm256_loadu_pd(a.as_ptr().add(k));
+            let vb = _mm256_loadu_pd(b.as_ptr().add(k));
+            let vc = _mm256_loadu_pd(c.as_ptr().add(k));
+            let vd = _mm256_loadu_pd(d.as_ptr().add(k));
+            // ((-a + 9b) + 9c) - d, then /16 — the scalar association.
+            let mut t = _mm256_add_pd(_mm256_xor_pd(va, sign), _mm256_mul_pd(nine, vb));
+            t = _mm256_add_pd(t, _mm256_mul_pd(nine, vc));
+            t = _mm256_sub_pd(t, vd);
+            _mm256_storeu_pd(out.as_mut_ptr().add(k), _mm256_div_pd(t, sixteen));
+            k += 4;
+        }
+        cubic_scalar(&a[k..], &b[k..], &c[k..], &d[k..], &mut out[k..]);
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn cubic_sse2(a: &[f64], b: &[f64], c: &[f64], d: &[f64], out: &mut [f64]) {
+        let n = out.len();
+        let nine = _mm_set1_pd(9.0);
+        let sixteen = _mm_set1_pd(16.0);
+        let sign = _mm_castsi128_pd(_mm_set1_epi64x(i64::MIN));
+        let mut k = 0usize;
+        while k + 2 <= n {
+            let va = _mm_loadu_pd(a.as_ptr().add(k));
+            let vb = _mm_loadu_pd(b.as_ptr().add(k));
+            let vc = _mm_loadu_pd(c.as_ptr().add(k));
+            let vd = _mm_loadu_pd(d.as_ptr().add(k));
+            let mut t = _mm_add_pd(_mm_xor_pd(va, sign), _mm_mul_pd(nine, vb));
+            t = _mm_add_pd(t, _mm_mul_pd(nine, vc));
+            t = _mm_sub_pd(t, vd);
+            _mm_storeu_pd(out.as_mut_ptr().add(k), _mm_div_pd(t, sixteen));
+            k += 2;
+        }
+        cubic_scalar(&a[k..], &b[k..], &c[k..], &d[k..], &mut out[k..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn quadratic_avx2(a: &[f64], b: &[f64], c: &[f64], out: &mut [f64]) {
+        let n = out.len();
+        let six = _mm256_set1_pd(6.0);
+        let three = _mm256_set1_pd(3.0);
+        let eight = _mm256_set1_pd(8.0);
+        let sign = _mm256_castsi256_pd(_mm256_set1_epi64x(i64::MIN));
+        let mut k = 0usize;
+        while k + 4 <= n {
+            let va = _mm256_loadu_pd(a.as_ptr().add(k));
+            let vb = _mm256_loadu_pd(b.as_ptr().add(k));
+            let vc = _mm256_loadu_pd(c.as_ptr().add(k));
+            let mut t = _mm256_add_pd(_mm256_xor_pd(va, sign), _mm256_mul_pd(six, vb));
+            t = _mm256_add_pd(t, _mm256_mul_pd(three, vc));
+            _mm256_storeu_pd(out.as_mut_ptr().add(k), _mm256_div_pd(t, eight));
+            k += 4;
+        }
+        quadratic_scalar(&a[k..], &b[k..], &c[k..], &mut out[k..]);
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn quadratic_sse2(a: &[f64], b: &[f64], c: &[f64], out: &mut [f64]) {
+        let n = out.len();
+        let six = _mm_set1_pd(6.0);
+        let three = _mm_set1_pd(3.0);
+        let eight = _mm_set1_pd(8.0);
+        let sign = _mm_castsi128_pd(_mm_set1_epi64x(i64::MIN));
+        let mut k = 0usize;
+        while k + 2 <= n {
+            let va = _mm_loadu_pd(a.as_ptr().add(k));
+            let vb = _mm_loadu_pd(b.as_ptr().add(k));
+            let vc = _mm_loadu_pd(c.as_ptr().add(k));
+            let mut t = _mm_add_pd(_mm_xor_pd(va, sign), _mm_mul_pd(six, vb));
+            t = _mm_add_pd(t, _mm_mul_pd(three, vc));
+            _mm_storeu_pd(out.as_mut_ptr().add(k), _mm_div_pd(t, eight));
+            k += 2;
+        }
+        quadratic_scalar(&a[k..], &b[k..], &c[k..], &mut out[k..]);
+    }
+}
+
+// See the `x86` module note on `unsafe`; NEON is baseline on aarch64,
+// and `vnegq_f64` is the IEEE sign flip (same as Rust's `-x`).
+#[cfg(target_arch = "aarch64")]
+#[allow(unsafe_code)]
+mod neon {
+    use super::{cubic_scalar, linear_scalar, quadratic_scalar};
+    use core::arch::aarch64::*;
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn linear_neon(b: &[f64], c: &[f64], out: &mut [f64]) {
+        let n = out.len();
+        let half = vdupq_n_f64(0.5);
+        let mut k = 0usize;
+        while k + 2 <= n {
+            let vb = vld1q_f64(b.as_ptr().add(k));
+            let vc = vld1q_f64(c.as_ptr().add(k));
+            vst1q_f64(out.as_mut_ptr().add(k), vmulq_f64(vaddq_f64(vb, vc), half));
+            k += 2;
+        }
+        linear_scalar(&b[k..], &c[k..], &mut out[k..]);
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn cubic_neon(a: &[f64], b: &[f64], c: &[f64], d: &[f64], out: &mut [f64]) {
+        let n = out.len();
+        let nine = vdupq_n_f64(9.0);
+        let sixteen = vdupq_n_f64(16.0);
+        let mut k = 0usize;
+        while k + 2 <= n {
+            let va = vld1q_f64(a.as_ptr().add(k));
+            let vb = vld1q_f64(b.as_ptr().add(k));
+            let vc = vld1q_f64(c.as_ptr().add(k));
+            let vd = vld1q_f64(d.as_ptr().add(k));
+            let mut t = vaddq_f64(vnegq_f64(va), vmulq_f64(nine, vb));
+            t = vaddq_f64(t, vmulq_f64(nine, vc));
+            t = vsubq_f64(t, vd);
+            vst1q_f64(out.as_mut_ptr().add(k), vdivq_f64(t, sixteen));
+            k += 2;
+        }
+        cubic_scalar(&a[k..], &b[k..], &c[k..], &d[k..], &mut out[k..]);
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn quadratic_neon(a: &[f64], b: &[f64], c: &[f64], out: &mut [f64]) {
+        let n = out.len();
+        let six = vdupq_n_f64(6.0);
+        let three = vdupq_n_f64(3.0);
+        let eight = vdupq_n_f64(8.0);
+        let mut k = 0usize;
+        while k + 2 <= n {
+            let va = vld1q_f64(a.as_ptr().add(k));
+            let vb = vld1q_f64(b.as_ptr().add(k));
+            let vc = vld1q_f64(c.as_ptr().add(k));
+            let mut t = vaddq_f64(vnegq_f64(va), vmulq_f64(six, vb));
+            t = vaddq_f64(t, vmulq_f64(three, vc));
+            vst1q_f64(out.as_mut_ptr().add(k), vdivq_f64(t, eight));
+            k += 2;
+        }
+        quadratic_scalar(&a[k..], &b[k..], &c[k..], &mut out[k..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stencil_run(stencil: RunStencil, off0: usize, step: usize, d1: usize, d3: usize) -> LineRun {
+        LineRun {
+            off0,
+            step,
+            cnt: 0, // unused by fill_preds; length comes from `preds`
+            d1,
+            d3,
+            stencil,
+        }
+    }
+
+    /// Scalar reference: the verbatim traversal expressions.
+    fn expected(data: &[f64], run: &LineRun, n: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(n);
+        let mut off = run.off0;
+        for _ in 0..n {
+            let p = match run.stencil {
+                RunStencil::CopyLeft => data[off - run.d1],
+                RunStencil::Interp(InterpKind::Linear) => {
+                    (data[off - run.d1] + data[off + run.d1]) * 0.5
+                }
+                RunStencil::Interp(InterpKind::Cubic) => {
+                    (-data[off - run.d3] + 9.0 * data[off - run.d1] + 9.0 * data[off + run.d1]
+                        - data[off + run.d3])
+                        / 16.0
+                }
+                RunStencil::Interp(InterpKind::Quadratic) => {
+                    (-data[off - run.d3] + 6.0 * data[off - run.d1] + 3.0 * data[off + run.d1])
+                        / 8.0
+                }
+            };
+            out.push(p);
+            off += run.step;
+        }
+        out
+    }
+
+    #[test]
+    fn all_stencils_match_scalar_on_all_paths() {
+        // Irregular values (not multiples of anything) with a few exact
+        // zeros and sign flips to exercise the negation identity.
+        let data: Vec<f64> = (0..600)
+            .map(|i| {
+                if i % 97 == 0 {
+                    0.0
+                } else {
+                    ((i as f64) * 0.618).sin() * 1e3 * if i % 2 == 0 { 1.0 } else { -1.0 }
+                }
+            })
+            .collect();
+        let stencils = [
+            RunStencil::Interp(InterpKind::Linear),
+            RunStencil::Interp(InterpKind::Cubic),
+            RunStencil::Interp(InterpKind::Quadratic),
+            RunStencil::CopyLeft,
+        ];
+        for stencil in stencils {
+            for (step, d1, d3) in [(2usize, 1usize, 3usize), (1, 7, 21), (5, 2, 6), (4, 2, 6)] {
+                for n in [1usize, 2, 3, 4, 5, 8, 13, 64] {
+                    let off0 = 30;
+                    let run = stencil_run(stencil, off0, step, d1, d3);
+                    let want = expected(&data, &run, n);
+                    for path in supported_paths() {
+                        let mut preds = vec![0f64; n];
+                        fill_preds(path, &data, &run, &mut preds);
+                        for k in 0..n {
+                            assert_eq!(
+                                preds[k].to_bits(),
+                                want[k].to_bits(),
+                                "{path} {stencil:?} step={step} n={n} lane {k}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_inputs_convert_before_combining() {
+        let data: Vec<f32> = (0..100).map(|i| (i as f32 * 0.31).cos() * 7.0).collect();
+        let run = stencil_run(RunStencil::Interp(InterpKind::Cubic), 9, 2, 1, 3);
+        let mut want = vec![0f64; 16];
+        fill_preds(KernelPath::Scalar, &data, &run, &mut want);
+        for path in supported_paths() {
+            let mut preds = vec![0f64; 16];
+            fill_preds(path, &data, &run, &mut preds);
+            assert_eq!(
+                preds.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                "{path}"
+            );
+        }
+    }
+}

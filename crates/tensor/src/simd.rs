@@ -1,0 +1,195 @@
+//! Runtime CPU-feature detection and kernel-path selection.
+//!
+//! The per-point hot loops (quantizer, interpolation stencils, Huffman
+//! histogramming) each exist in a scalar form — the reference
+//! implementation and test oracle — and in vectorized forms selected at
+//! runtime from the CPU's feature set. This module owns the *selection*;
+//! the kernels themselves live next to the code they accelerate
+//! (`qoz_codec::simd`, `qoz_predict::simd`).
+//!
+//! Every kernel path is **bit-identical** to the scalar path by
+//! construction: compressed streams, reconstructions and tuner statistics
+//! do not depend on which path ran. The dispatch therefore only affects
+//! throughput, never bytes — the golden-bitstream pins hold on all paths.
+//!
+//! Setting `QOZ_FORCE_SCALAR=1` in the environment pins the scalar path
+//! for the whole process (read once, cached), the escape hatch for
+//! bisecting a suspected kernel bug or benchmarking the baseline.
+
+use std::sync::OnceLock;
+
+/// Which kernel implementation the hot loops dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelPath {
+    /// AVX2: 4×f64 lanes (x86_64).
+    Avx2,
+    /// SSE2: 2×f64 lanes (x86_64 baseline).
+    Sse2,
+    /// NEON: 2×f64 lanes (aarch64 baseline).
+    Neon,
+    /// Portable scalar reference (any target).
+    Scalar,
+}
+
+impl KernelPath {
+    /// Stable lowercase name, used in telemetry labels and bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelPath::Avx2 => "avx2",
+            KernelPath::Sse2 => "sse2",
+            KernelPath::Neon => "neon",
+            KernelPath::Scalar => "scalar",
+        }
+    }
+
+    /// f64 lanes processed per vector op on this path.
+    pub fn lanes_f64(self) -> usize {
+        match self {
+            KernelPath::Avx2 => 4,
+            KernelPath::Sse2 | KernelPath::Neon => 2,
+            KernelPath::Scalar => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for KernelPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Detect the best kernel path the running CPU supports, ignoring the
+/// `QOZ_FORCE_SCALAR` override (see [`selected`] for the effective path).
+pub fn detect() -> KernelPath {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return KernelPath::Avx2;
+        }
+        // SSE2 is part of the x86_64 baseline.
+        return KernelPath::Sse2;
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // NEON is part of the aarch64 baseline.
+        return KernelPath::Neon;
+    }
+    #[allow(unreachable_code)]
+    KernelPath::Scalar
+}
+
+/// Whether `QOZ_FORCE_SCALAR=1` is set (read once per process).
+pub fn force_scalar() -> bool {
+    static FORCE: OnceLock<bool> = OnceLock::new();
+    *FORCE.get_or_init(|| {
+        std::env::var("QOZ_FORCE_SCALAR")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+    })
+}
+
+/// The kernel path the hot loops dispatch to: [`detect`] unless
+/// `QOZ_FORCE_SCALAR=1` pins [`KernelPath::Scalar`]. Cached per process.
+pub fn selected() -> KernelPath {
+    static SELECTED: OnceLock<KernelPath> = OnceLock::new();
+    *SELECTED.get_or_init(|| {
+        if force_scalar() {
+            KernelPath::Scalar
+        } else {
+            detect()
+        }
+    })
+}
+
+/// Whether `path` can execute on the running CPU. Used by the
+/// equivalence tests to exercise every runnable path, not just the
+/// selected one.
+pub fn supported(path: KernelPath) -> bool {
+    match path {
+        KernelPath::Scalar => true,
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Sse2 => true,
+        #[cfg(target_arch = "aarch64")]
+        KernelPath::Neon => true,
+        #[allow(unreachable_patterns)]
+        _ => false,
+    }
+}
+
+/// All paths runnable on this CPU, best first, always ending in `Scalar`.
+pub fn supported_paths() -> Vec<KernelPath> {
+    [
+        KernelPath::Avx2,
+        KernelPath::Sse2,
+        KernelPath::Neon,
+        KernelPath::Scalar,
+    ]
+    .into_iter()
+    .filter(|&p| supported(p))
+    .collect()
+}
+
+/// Comma-separated list of the vector feature sets the running CPU
+/// advertises (of those the kernels care about). Recorded in the bench
+/// JSON header so before/after numbers are apples-to-apples.
+pub fn cpu_features() -> String {
+    let mut feats: Vec<&str> = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            feats.push("avx2");
+        }
+        feats.push("sse2");
+    }
+    #[cfg(target_arch = "aarch64")]
+    feats.push("neon");
+    if feats.is_empty() {
+        feats.push("none");
+    }
+    feats.join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_is_supported_and_stable() {
+        let d = detect();
+        assert!(supported(d));
+        assert_eq!(d, detect());
+        assert_eq!(selected(), selected());
+    }
+
+    #[test]
+    fn scalar_always_supported() {
+        assert!(supported(KernelPath::Scalar));
+        let paths = supported_paths();
+        assert_eq!(paths.last(), Some(&KernelPath::Scalar));
+        assert!(paths.contains(&detect()));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(KernelPath::Avx2.name(), "avx2");
+        assert_eq!(KernelPath::Sse2.name(), "sse2");
+        assert_eq!(KernelPath::Neon.name(), "neon");
+        assert_eq!(KernelPath::Scalar.name(), "scalar");
+        assert_eq!(KernelPath::Avx2.to_string(), "avx2");
+    }
+
+    #[test]
+    fn lane_widths() {
+        assert_eq!(KernelPath::Avx2.lanes_f64(), 4);
+        assert_eq!(KernelPath::Sse2.lanes_f64(), 2);
+        assert_eq!(KernelPath::Neon.lanes_f64(), 2);
+        assert_eq!(KernelPath::Scalar.lanes_f64(), 1);
+    }
+
+    #[test]
+    fn cpu_features_nonempty() {
+        assert!(!cpu_features().is_empty());
+    }
+}

@@ -1,0 +1,344 @@
+//! Scalar-vs-SIMD kernel equivalence suite.
+//!
+//! The vectorized hot loops (linear-scale quantizer, fused
+//! interpolation stencils, Huffman histogramming) carry a hard
+//! contract: **bit-identical output on every dispatch path**. These
+//! tests check the contract at three layers — kernel blocks against the
+//! scalar oracle under proptest (all lane widths, odd tails, f32 + f64,
+//! unpredictable-heavy inputs), the whole engine byte-for-byte across
+//! paths, and the golden-bitstream pins re-asserted under every
+//! supported path via the `KernelSelect` config knob. The CI
+//! `test-scalar` job runs this same suite with `QOZ_FORCE_SCALAR=1`, so
+//! both the env override and the dispatched path are covered.
+
+use proptest::prelude::*;
+use qoz_suite::codec::huffman::dense_counts;
+use qoz_suite::codec::simd::{quantize_block, supported_paths, KernelPath, QuantSpec, BLOCK};
+use qoz_suite::codec::{Compressor, ErrorBound, LinearQuantizer};
+use qoz_suite::datagen::{Dataset, SizeClass};
+use qoz_suite::predict::simd::fill_preds;
+use qoz_suite::predict::{InterpKind, LineRun, RunStencil};
+use qoz_suite::qoz::{KernelSelect, Qoz, QozConfig};
+use qoz_suite::tensor::{NdArray, Scalar};
+
+/// FNV-1a, 64-bit — same pinning hash as `golden_bitstream.rs`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn qoz_with(kernels: KernelSelect) -> Qoz {
+    Qoz::new(QozConfig {
+        kernels,
+        ..QozConfig::default()
+    })
+}
+
+/// Every path worth testing on this machine: each supported SIMD path
+/// plus the scalar reference (always last in `supported_paths`).
+fn paths() -> Vec<KernelPath> {
+    supported_paths()
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-block equivalence (proptest)
+// ---------------------------------------------------------------------------
+
+/// Run `quantize_block` on one path and flatten the outputs.
+fn quantize_via<T: Scalar>(
+    path: KernelPath,
+    spec: &QuantSpec,
+    vals: &[T],
+    preds: &[f64],
+) -> (Vec<u32>, Vec<u64>) {
+    let n = vals.len();
+    let mut vals_f = vec![0f64; n];
+    let mut codes = vec![0u32; n];
+    let mut recons = vec![T::from_f64(0.0); n];
+    for (k, (v, p)) in vals.chunks(BLOCK).zip(preds.chunks(BLOCK)).enumerate() {
+        let lo = k * BLOCK;
+        let hi = lo + v.len();
+        quantize_block(
+            path,
+            spec,
+            v,
+            p,
+            &mut vals_f[lo..hi],
+            &mut codes[lo..hi],
+            &mut recons[lo..hi],
+        );
+    }
+    (codes, recons.iter().map(|r| r.to_f64().to_bits()).collect())
+}
+
+/// Value/prediction pairs spanning the regular case, the
+/// unpredictable-heavy case (predictions far off), and specials.
+fn quant_inputs(n: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    let val = prop_oneof![
+        8 => -1e6f64..1e6f64,
+        2 => -1.0f64..1.0f64,
+        1 => Just(0.0f64),
+        1 => Just(-0.0f64),
+        1 => Just(f64::NAN),
+        1 => Just(f64::INFINITY),
+        1 => Just(1e300f64),
+    ];
+    let off = prop_oneof![
+        // Near the prediction: regular codes.
+        6 => -1e-2f64..1e-2f64,
+        // Way off: unpredictable lanes.
+        3 => prop_oneof![-1e12f64..-1e9, 1e9f64..1e12],
+        1 => Just(0.0f64),
+    ];
+    (
+        proptest::collection::vec(val, n),
+        proptest::collection::vec(off, n),
+    )
+        .prop_map(|(vals, offs)| {
+            let preds = vals
+                .iter()
+                .zip(&offs)
+                .map(|(v, o)| if v.is_finite() { v + o } else { *o })
+                .collect();
+            (vals, preds)
+        })
+}
+
+proptest! {
+    // Bounded and reproducible, like the tier-1 roundtrip properties.
+    #![proptest_config(ProptestConfig::with_cases(48).with_rng_seed(0x51_C0DE))]
+
+    /// Quantizer blocks: every supported path must agree bit-for-bit
+    /// with the per-point scalar quantizer on codes AND
+    /// reconstructions, for f64 and the narrowing f32 case, on odd
+    /// tail lengths.
+    #[test]
+    fn quantize_block_matches_scalar_oracle(
+        vp in (1usize..3 * BLOCK + 6).prop_flat_map(quant_inputs),
+        eb in prop_oneof![Just(1e-9f64), Just(1e-3), Just(1.0), Just(1e6)],
+    ) {
+        let (vals, preds) = vp;
+        let n = vals.len();
+        let q = LinearQuantizer::new(eb);
+        let spec = QuantSpec::from_quantizer(&q).expect("default radius fits SIMD");
+
+        // Scalar oracle: the pre-SIMD per-point quantizer.
+        let oracle: Vec<(u32, u64)> = vals
+            .iter()
+            .zip(&preds)
+            .map(|(&v, &p)| {
+                let out = q.quantize(v, p);
+                (out.code, out.reconstructed.to_bits())
+            })
+            .collect();
+        let oracle32: Vec<(u32, u64)> = vals
+            .iter()
+            .zip(&preds)
+            .map(|(&v, &p)| {
+                let out = q.quantize(v as f32, p);
+                (out.code, (out.reconstructed as f64).to_bits())
+            })
+            .collect();
+
+        let vals32: Vec<f32> = vals.iter().map(|&v| v as f32).collect();
+        for path in paths() {
+            let (codes, recons) = quantize_via(path, &spec, &vals, &preds);
+            for k in 0..n {
+                prop_assert!(
+                    (codes[k], recons[k]) == oracle[k],
+                    "f64 lane {k} diverged on {path}: got {:?}, want {:?}",
+                    (codes[k], recons[k]),
+                    oracle[k]
+                );
+            }
+            let (codes, recons) = quantize_via(path, &spec, &vals32, &preds);
+            for k in 0..n {
+                prop_assert!(
+                    (codes[k], recons[k]) == oracle32[k],
+                    "f32 lane {k} diverged on {path}: got {:?}, want {:?}",
+                    (codes[k], recons[k]),
+                    oracle32[k]
+                );
+            }
+        }
+    }
+
+    /// Stencil runs: every path's `fill_preds` must reproduce the
+    /// scalar path bit-for-bit for each stencil variant, stride
+    /// geometry, and odd run length.
+    #[test]
+    fn fill_preds_matches_scalar_on_all_stencils(
+        data in proptest::collection::vec(
+            prop_oneof![6 => -1e6f64..1e6f64, 1 => -1.0f64..1.0],
+            64..700,
+        ),
+        s in 1usize..4,
+        cnt in 1usize..BLOCK + 1,
+        kind in prop_oneof![
+            Just(RunStencil::Interp(InterpKind::Linear)),
+            Just(RunStencil::Interp(InterpKind::Cubic)),
+            Just(RunStencil::Interp(InterpKind::Quadratic)),
+            Just(RunStencil::CopyLeft),
+        ],
+    ) {
+        // Interior-run geometry: step 2s, neighbours at ±s and ±3s.
+        // Clamp the run so every gather stays in bounds.
+        let d3 = 3 * s;
+        let max_cnt = (data.len() - 1 - 2 * d3) / (2 * s) + 1;
+        let cnt = cnt.min(max_cnt);
+        let run = LineRun {
+            off0: d3,
+            step: 2 * s,
+            cnt,
+            d1: s,
+            d3,
+            stencil: kind,
+        };
+        let mut want = vec![0f64; cnt];
+        fill_preds(KernelPath::Scalar, &data, &run, &mut want);
+        for path in paths() {
+            let mut got = vec![1f64; cnt];
+            fill_preds(path, &data, &run, &mut got);
+            for k in 0..cnt {
+                prop_assert!(
+                    got[k].to_bits() == want[k].to_bits(),
+                    "{:?} lane {k} diverged on {path}: got {}, want {}",
+                    run.stencil,
+                    got[k],
+                    want[k]
+                );
+            }
+        }
+    }
+
+    /// Histogramming: the split-table count is exactly the naive count
+    /// for arbitrary symbol streams (run-heavy by construction of the
+    /// strategy weights).
+    #[test]
+    fn split_histogram_matches_naive(
+        symbols in proptest::collection::vec(
+            prop_oneof![5 => Just(77u32), 3 => 0u32..256, 1 => 0u32..70_000],
+            0..10_000,
+        ),
+    ) {
+        let max = symbols.iter().max().copied().unwrap_or(0) as usize;
+        let mut split = Vec::new();
+        let mut naive = Vec::new();
+        dense_counts(&symbols, max, &mut split, true);
+        dense_counts(&symbols, max, &mut naive, false);
+        prop_assert_eq!(&split[..max + 1], &naive[..max + 1]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-engine byte equality across paths
+// ---------------------------------------------------------------------------
+
+/// A full compress on every supported path must emit the same bytes as
+/// the scalar path, and every blob must decode to the same bits under
+/// every decode path.
+#[test]
+fn engine_streams_identical_on_every_path() {
+    for ds in [Dataset::Miranda, Dataset::CesmAtm, Dataset::Hurricane] {
+        let data = ds.generate(SizeClass::Tiny, 0);
+        let scalar = qoz_with(KernelSelect::ForceScalar);
+        let want: Vec<u8> = scalar.compress(&data, ErrorBound::Rel(1e-3));
+        let want_recon: NdArray<f32> = scalar.decompress(&want).unwrap();
+        for path in paths() {
+            let c = qoz_with(KernelSelect::Fixed(path));
+            let blob: Vec<u8> = c.compress(&data, ErrorBound::Rel(1e-3));
+            assert_eq!(blob, want, "{ds:?}: compress bytes diverged on {path}");
+            let recon: NdArray<f32> = c.decompress(&blob).unwrap();
+            let same = recon
+                .as_slice()
+                .iter()
+                .zip(want_recon.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "{ds:?}: decode bits diverged on {path}");
+        }
+    }
+}
+
+/// The same contract for the f64 engine (8-byte unpredictable records,
+/// wider loads in every kernel).
+#[test]
+fn engine_streams_identical_on_every_path_f64() {
+    let f = Dataset::Miranda.generate(SizeClass::Tiny, 0);
+    let data = NdArray::from_vec(f.shape(), f.as_slice().iter().map(|&v| v as f64).collect());
+    let scalar = qoz_with(KernelSelect::ForceScalar);
+    let want: Vec<u8> = scalar.compress(&data, ErrorBound::Rel(1e-3));
+    for path in paths() {
+        let c = qoz_with(KernelSelect::Fixed(path));
+        let blob: Vec<u8> = c.compress(&data, ErrorBound::Rel(1e-3));
+        assert_eq!(blob, want, "f64 compress bytes diverged on {path}");
+        let a: NdArray<f64> = c.decompress(&blob).unwrap();
+        let b: NdArray<f64> = scalar.decompress(&want).unwrap();
+        assert!(
+            a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits()),
+            "f64 decode bits diverged on {path}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Golden pins under explicit paths
+// ---------------------------------------------------------------------------
+
+/// The golden-bitstream constants from `golden_bitstream.rs`, re-pinned
+/// here under *explicit* kernel selection: the scalar reference and
+/// every SIMD path this machine supports must all reproduce the exact
+/// pre-SIMD bytes.
+#[test]
+fn golden_pins_hold_on_every_path() {
+    let expect: [(Dataset, f64, usize, u64); 3] = [
+        (Dataset::Miranda, 1e-3, 12809, 0xf09f5ff06c6c54f4),
+        (Dataset::CesmAtm, 1e-3, 6143, 0x1a46cc7eb06a1027),
+        (Dataset::Hurricane, 1e-2, 8246, 0x096d288f9fe01d4e),
+    ];
+    let mut selects = vec![KernelSelect::ForceScalar, KernelSelect::Auto];
+    selects.extend(paths().into_iter().map(KernelSelect::Fixed));
+    for select in selects {
+        let c = qoz_with(select);
+        for (ds, eps, len, hash) in expect {
+            let data = ds.generate(SizeClass::Tiny, 0);
+            let blob: Vec<u8> = c.compress(&data, ErrorBound::Rel(eps));
+            assert_eq!(
+                (blob.len(), fnv1a(&blob)),
+                (len, hash),
+                "golden pin broke for {ds:?} eps={eps:e} under {select:?}"
+            );
+        }
+    }
+}
+
+/// The f64 golden pins under the same explicit-path sweep.
+#[test]
+fn golden_f64_pins_hold_on_every_path() {
+    let expect: [(Dataset, f64, usize, u64); 2] = [
+        (Dataset::Miranda, 1e-3, 12813, 0xd7806195949d9ed7),
+        (Dataset::Hurricane, 1e-2, 8262, 0xb44c6fab85a98c7a),
+    ];
+    let mut selects = vec![KernelSelect::ForceScalar, KernelSelect::Auto];
+    selects.extend(paths().into_iter().map(KernelSelect::Fixed));
+    for select in selects {
+        let c = qoz_with(select);
+        for (ds, eps, len, hash) in expect {
+            let f = ds.generate(SizeClass::Tiny, 0);
+            let data =
+                NdArray::from_vec(f.shape(), f.as_slice().iter().map(|&v| v as f64).collect());
+            let blob: Vec<u8> = c.compress(&data, ErrorBound::Rel(eps));
+            assert_eq!(
+                (blob.len(), fnv1a(&blob)),
+                (len, hash),
+                "f64 golden pin broke for {ds:?} eps={eps:e} under {select:?}"
+            );
+        }
+    }
+}
